@@ -1,0 +1,74 @@
+//! Benches for the extension studies (DESIGN.md's ablation list): banked
+//! widths, hash-rehash, warm vs cold, invalidations, and effective timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seta_bench::bench_params;
+use seta_sim::config::HierarchyPreset;
+use seta_sim::experiments::{
+    banked, hashrehash, invalidation, timing_effective, warmth, ExperimentParams,
+};
+use std::hint::black_box;
+
+fn params() -> ExperimentParams {
+    let mut p = bench_params();
+    p.preset = HierarchyPreset::new(4 * 1024, 16, 32 * 1024, 32);
+    p
+}
+
+fn bench_banked(c: &mut Criterion) {
+    let params = params();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("banked_widths", |b| {
+        b.iter(|| black_box(banked::run_with_assocs(&params, &[8])))
+    });
+    g.finish();
+}
+
+fn bench_hashrehash(c: &mut Criterion) {
+    let params = params();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("hashrehash", |b| b.iter(|| black_box(hashrehash::run(&params))));
+    g.finish();
+}
+
+fn bench_warmth(c: &mut Criterion) {
+    let params = params();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("warmth", |b| {
+        b.iter(|| black_box(warmth::run_with_assoc(&params, 4)))
+    });
+    g.finish();
+}
+
+fn bench_invalidation(c: &mut Criterion) {
+    let params = params();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("invalidation", |b| {
+        b.iter(|| black_box(invalidation::run_with(&params, &[1, 4], 500, 8)))
+    });
+    g.finish();
+}
+
+fn bench_timing(c: &mut Criterion) {
+    let params = params();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("effective_timing", |b| {
+        b.iter(|| black_box(timing_effective::run_with_assocs(&params, &[4, 8])))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_banked,
+    bench_hashrehash,
+    bench_warmth,
+    bench_invalidation,
+    bench_timing
+);
+criterion_main!(ablations);

@@ -1,0 +1,59 @@
+//! One bench per figure: regenerates Figures 3–6 end to end at
+//! `BENCH_SCALE`. Run `paper_tables <fig>` for the full-scale numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seta_bench::bench_params;
+use seta_sim::config::HierarchyPreset;
+use seta_sim::experiments::{fig3, fig4, fig5, fig6, ExperimentParams};
+use std::hint::black_box;
+
+/// Bench parameters with the hierarchy shrunk alongside the trace so the
+/// L2 still warms up (see `ExperimentParams::preset`).
+fn params() -> ExperimentParams {
+    let mut p = bench_params();
+    p.preset = HierarchyPreset::new(4 * 1024, 16, 32 * 1024, 32);
+    p
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let params = params();
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("probes_vs_associativity", |b| {
+        b.iter(|| black_box(fig3::run_with_assocs(&params, &[1, 4, 8])))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let params = params();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("hits_and_misses", |b| {
+        b.iter(|| black_box(fig4::run_with_assocs(&params, &[4, 8])))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let params = params();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("reduced_mru_lists", |b| {
+        b.iter(|| black_box(fig5::run_with_assocs(&params, &[4, 8])))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let params = params();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("transforms_and_tag_widths", |b| {
+        b.iter(|| black_box(fig6::run_with(&params, &[16, 32], &[4, 8])))
+    });
+    g.finish();
+}
+
+criterion_group!(figures, bench_fig3, bench_fig4, bench_fig5, bench_fig6);
+criterion_main!(figures);

@@ -1,0 +1,41 @@
+//! One bench per table: regenerates Table 1, Table 2 and Table 4 end to
+//! end. Trace-driven benches run at `BENCH_SCALE` (the paper's workload
+//! structure, shrunk) so an iteration stays in criterion territory; run
+//! `paper_tables <table>` for the full-scale numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seta_bench::bench_params;
+use seta_sim::config::HierarchyPreset;
+use seta_sim::experiments::{table1, table2, table4};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/analytical", |b| {
+        b.iter(|| black_box(table1::run(black_box(16))))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2/timing_model", |b| {
+        b.iter(|| black_box(table2::run()))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let params = bench_params();
+    // The full grid is 8 configs x 3 associativities; bench a representative
+    // 2 x 2 slice so one iteration is four simulations.
+    let presets = vec![
+        HierarchyPreset::new(16 * 1024, 16, 64 * 1024, 32),
+        HierarchyPreset::new(4 * 1024, 16, 64 * 1024, 16),
+    ];
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("grid_2x2", |b| {
+        b.iter(|| black_box(table4::run_with(&params, &presets, &[4, 8])))
+    });
+    g.finish();
+}
+
+criterion_group!(tables, bench_table1, bench_table2, bench_table4);
+criterion_main!(tables);

@@ -1,0 +1,250 @@
+//! Regenerates any table or figure of the paper from the command line.
+//!
+//! ```text
+//! paper_tables <experiment> [--scale N] [--seed S] [--json]
+//!
+//! experiments: table1 table2 fig3 fig4 fig5 fig6 table4 calibrate all
+//!              banked hashrehash warmth invalidation timing contention deep policy extensions
+//!   --scale N   shrink the trace by N× (default 1 = full 8M references)
+//!   --seed S    workload seed (default the experiments' fixed seed)
+//!   --json      emit machine-readable JSON instead of text tables
+//! ```
+
+use seta_sim::config::table3_l1_miss_ratios;
+use seta_sim::experiments::{
+    banked, contention, deep, fig3, fig4, fig5, fig6, hashrehash, invalidation, policy,
+    table1, table2, table4, timing_effective, warmth, ExperimentParams,
+};
+use seta_sim::runner::{simulate, standard_strategies};
+use seta_trace::gen::AtumLike;
+use std::process::ExitCode;
+
+struct Options {
+    experiment: String,
+    scale: u64,
+    seed: Option<u64>,
+    json: bool,
+    csv: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or_else(usage)?;
+    let mut opts = Options {
+        experiment,
+        scale: 1,
+        seed: None,
+        json: false,
+        csv: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                opts.scale = v.parse().map_err(|e| format!("bad --scale {v}: {e}"))?;
+                if opts.scale == 0 {
+                    return Err("--scale must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = Some(v.parse().map_err(|e| format!("bad --seed {v}: {e}"))?);
+            }
+            "--json" => opts.json = true,
+            "--csv" => opts.csv = true,
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() -> String {
+    "usage: paper_tables <experiment> [--scale N] [--seed S] [--json|--csv]\n\
+     paper:      table1 table2 fig3 fig4 fig5 fig6 table4 calibrate all\n\
+     extensions: banked hashrehash warmth invalidation timing contention deep policy extensions"
+        .into()
+}
+
+fn params(opts: &Options) -> ExperimentParams {
+    let mut p = if opts.scale == 1 {
+        ExperimentParams::paper()
+    } else {
+        ExperimentParams::scaled(opts.scale)
+    };
+    if let Some(seed) = opts.seed {
+        p.seed = seed;
+    }
+    p
+}
+
+fn emit<T: serde::Serialize>(json: bool, value: &T, text: String) {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(value).expect("results serialize")
+        );
+    } else {
+        println!("{text}");
+    }
+}
+
+/// Reports the measured L1 miss ratios for the three Table 3 level-one
+/// configurations, next to the paper's published values.
+fn calibrate(p: &ExperimentParams, json: bool) {
+    let mut rows = Vec::new();
+    for (preset, published) in table3_l1_miss_ratios() {
+        let out = simulate(
+            preset.l1().expect("preset geometry is valid"),
+            preset.l2(4).expect("preset geometry is valid"),
+            AtumLike::new(p.trace.clone(), p.seed),
+            &standard_strategies(4, p.tag_bits),
+        );
+        rows.push(serde_json::json!({
+            "l1": format!("{}K-{}", preset.l1_size / 1024, preset.l1_block),
+            "paper_miss_ratio": published,
+            "measured_miss_ratio": out.hierarchy.l1_miss_ratio(),
+            "l2_local_miss_ratio": out.hierarchy.local_miss_ratio(),
+            "write_back_fraction": out.hierarchy.write_back_fraction(),
+        }));
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("rows serialize")
+        );
+    } else {
+        println!("L1 calibration (paper Table 3 vs this workload)");
+        for r in rows {
+            println!(
+                "  {:>7}: paper {:.4}  measured {:.4}  (L2 local {:.4}, wb frac {:.4})",
+                r["l1"].as_str().expect("label is a string"),
+                r["paper_miss_ratio"].as_f64().expect("number"),
+                r["measured_miss_ratio"].as_f64().expect("number"),
+                r["l2_local_miss_ratio"].as_f64().expect("number"),
+                r["write_back_fraction"].as_f64().expect("number"),
+            );
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Output {
+    Text,
+    Json,
+    Csv,
+}
+
+fn run_one(name: &str, p: &ExperimentParams, out: Output) -> Result<(), String> {
+    let json = matches!(out, Output::Json);
+    let csv = matches!(out, Output::Csv);
+    match name {
+        "table1" => {
+            let t = table1::run(p.tag_bits);
+            emit(json, &t, t.render());
+        }
+        "table2" => {
+            let t = table2::run();
+            emit(json, &t, t.render());
+        }
+        "fig3" => {
+            let f = fig3::run(p);
+            emit(json, &f, if csv { f.csv() } else { f.render() });
+        }
+        "fig4" => {
+            let f = fig4::run(p);
+            emit(json, &f, if csv { f.csv() } else { f.render() });
+        }
+        "fig5" => {
+            let f = fig5::run(p);
+            let text = if csv {
+                format!("{}\n{}", f.left_csv(), f.right_csv())
+            } else {
+                f.render()
+            };
+            emit(json, &f, text);
+        }
+        "fig6" => {
+            let f = fig6::run(p);
+            emit(json, &f, if csv { f.csv() } else { f.render() });
+        }
+        "table4" => {
+            let t = table4::run(p);
+            emit(json, &t, if csv { t.csv() } else { t.render() });
+        }
+        "calibrate" => calibrate(p, json),
+        "banked" => {
+            let b = banked::run(p);
+            emit(json, &b, b.render());
+        }
+        "hashrehash" => {
+            let h = hashrehash::run(p);
+            emit(json, &h, h.render());
+        }
+        "warmth" => {
+            let w = warmth::run(p);
+            emit(json, &w, w.render());
+        }
+        "invalidation" => {
+            let i = invalidation::run(p);
+            emit(json, &i, i.render());
+        }
+        "timing" => {
+            let t = timing_effective::run(p);
+            emit(json, &t, t.render());
+        }
+        "contention" => {
+            let c = contention::run(p);
+            emit(json, &c, c.render());
+        }
+        "deep" => {
+            let d = deep::run(p);
+            emit(json, &d, d.render());
+        }
+        "policy" => {
+            let s = policy::run(p);
+            emit(json, &s, s.render());
+        }
+        "all" => {
+            for name in [
+                "table1", "table2", "calibrate", "fig3", "fig4", "fig5", "fig6", "table4",
+            ] {
+                run_one(name, p, out)?;
+            }
+        }
+        "extensions" => {
+            for name in [
+                "banked", "hashrehash", "warmth", "invalidation", "timing", "contention",
+                "deep", "policy",
+            ] {
+                run_one(name, p, out)?;
+            }
+        }
+        other => return Err(format!("unknown experiment {other:?}\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let p = params(&opts);
+    let out = if opts.json {
+        Output::Json
+    } else if opts.csv {
+        Output::Csv
+    } else {
+        Output::Text
+    };
+    match run_one(&opts.experiment, &p, out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

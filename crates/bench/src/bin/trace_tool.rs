@@ -1,0 +1,213 @@
+//! Trace utilities: generate synthetic workloads, convert between formats,
+//! summarize, and run one-pass Mattson stack analysis.
+//!
+//! ```text
+//! trace_tool generate <out> [--segments N] [--refs N] [--seed S]
+//! trace_tool convert  <in> <out>
+//! trace_tool stats    <in>
+//! trace_tool mattson  <in> [--block N] [--sets N] [--max-assoc N]
+//!
+//! Formats are chosen by extension: .din (Dinero), .seta (binary),
+//! anything else is the text format.
+//! ```
+
+use seta_cache::MattsonAnalyzer;
+use seta_trace::format::{
+    BinaryReader, BinaryWriter, DineroReader, DineroWriter, TextReader, TextWriter,
+};
+use seta_trace::gen::{AtumLike, AtumLikeConfig};
+use seta_trace::stats::TraceStats;
+use seta_trace::TraceEvent;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Binary,
+    Dinero,
+}
+
+fn format_of(path: &Path) -> Format {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("din") => Format::Dinero,
+        Some("seta") => Format::Binary,
+        _ => Format::Text,
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  trace_tool generate <out> [--segments N] [--refs N] [--seed S]\n  \
+     trace_tool convert <in> <out>\n  \
+     trace_tool stats <in>\n  \
+     trace_tool mattson <in> [--block N] [--sets N] [--max-assoc N]\n\
+     formats by extension: .din (Dinero), .seta (binary), other (text)"
+        .into()
+}
+
+/// Reads a whole trace file into memory (these tools are offline).
+fn read_events(path: &Path) -> Result<Vec<TraceEvent>, String> {
+    let file = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let reader = BufReader::new(file);
+    let events: Result<Vec<TraceEvent>, _> = match format_of(path) {
+        Format::Text => TextReader::new(reader).collect(),
+        Format::Dinero => DineroReader::new(reader).collect(),
+        Format::Binary => BinaryReader::new(reader)
+            .map_err(|e| format!("read {}: {e}", path.display()))?
+            .collect(),
+    };
+    events.map_err(|e| format!("decode {}: {e}", path.display()))
+}
+
+fn write_events(path: &Path, events: &[TraceEvent]) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+    let writer = BufWriter::new(file);
+    let io = match format_of(path) {
+        Format::Text => TextWriter::new(writer).write_all(events.iter().copied()),
+        Format::Dinero => DineroWriter::new(writer).write_all(events.iter().copied()),
+        Format::Binary => {
+            let mut w = BinaryWriter::new(writer);
+            w.write_all(events.iter().copied())
+                .and_then(|()| w.finish().map(drop))
+        }
+    };
+    io.map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+fn parse_u64(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+    let v = args.next().ok_or(format!("{flag} needs a value"))?;
+    v.parse().map_err(|e| format!("bad {flag} {v}: {e}"))
+}
+
+fn generate(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let out = args.next().ok_or_else(usage)?;
+    let mut cfg = AtumLikeConfig::paper_like();
+    cfg.segments = 2;
+    cfg.refs_per_segment = 100_000;
+    let mut seed = 42u64;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--segments" => cfg.segments = parse_u64(&mut args, "--segments")? as usize,
+            "--refs" => cfg.refs_per_segment = parse_u64(&mut args, "--refs")?,
+            "--seed" => seed = parse_u64(&mut args, "--seed")?,
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    cfg.validate()?;
+    let events: Vec<TraceEvent> = AtumLike::new(cfg.clone(), seed).collect();
+    write_events(Path::new(&out), &events)?;
+    println!(
+        "wrote {} events ({} segments x {} refs, seed {seed}) to {out}",
+        events.len(),
+        cfg.segments,
+        cfg.refs_per_segment
+    );
+    Ok(())
+}
+
+fn convert(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let input = args.next().ok_or_else(usage)?;
+    let output = args.next().ok_or_else(usage)?;
+    let events = read_events(Path::new(&input))?;
+    write_events(Path::new(&output), &events)?;
+    println!("converted {} events: {input} -> {output}", events.len());
+    Ok(())
+}
+
+fn stats(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let input = args.next().ok_or_else(usage)?;
+    let events = read_events(Path::new(&input))?;
+    let s = TraceStats::from_events(events.iter().copied());
+    println!("{input}:");
+    println!("  references      {}", s.total_refs());
+    println!("  reads           {}", s.reads);
+    println!("  writes          {} ({:.3})", s.writes, s.write_fraction());
+    println!("  ifetches        {} ({:.3})", s.ifetches, s.ifetch_fraction());
+    println!("  flushes         {}", s.flushes);
+    println!("  unique addrs    {}", s.unique_addrs());
+    for block in [16u64, 32, 64] {
+        println!(
+            "  footprint @{block:>2}B  {} KiB",
+            s.footprint_bytes(block) / 1024
+        );
+    }
+    Ok(())
+}
+
+fn mattson(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let input = args.next().ok_or_else(usage)?;
+    let mut block = 32u64;
+    let mut sets = 2048u64;
+    let mut max_assoc = 16u32;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--block" => block = parse_u64(&mut args, "--block")?,
+            "--sets" => sets = parse_u64(&mut args, "--sets")?,
+            "--max-assoc" => max_assoc = parse_u64(&mut args, "--max-assoc")? as u32,
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    if !block.is_power_of_two() || !sets.is_power_of_two() {
+        return Err("--block and --sets must be powers of two".into());
+    }
+    if max_assoc == 0 {
+        return Err("--max-assoc must be positive".into());
+    }
+    let events = read_events(Path::new(&input))?;
+    let mut analyzer = MattsonAnalyzer::new(block, sets);
+    for e in &events {
+        match e {
+            TraceEvent::Ref(r) => {
+                analyzer.observe(r.addr);
+            }
+            TraceEvent::Flush => analyzer.flush(),
+        }
+    }
+    println!(
+        "{input}: one-pass LRU stack analysis ({sets} sets x {block} B blocks, \
+         capacity = assoc x {} KiB)",
+        sets * block / 1024
+    );
+    println!("  refs {}   cold misses {}", analyzer.refs(), analyzer.cold_misses());
+    let mut assoc = 1u32;
+    while assoc <= max_assoc {
+        println!(
+            "  {assoc:>3}-way: miss ratio {:.4}",
+            analyzer.miss_ratio(assoc)
+        );
+        assoc *= 2;
+    }
+    let f = analyzer.f_distribution(4.min(max_assoc));
+    if !f.is_empty() {
+        let rendered: Vec<String> = f.iter().map(|v| format!("{v:.3}")).collect();
+        println!("  f_i at {}-way: [{}]", 4.min(max_assoc), rendered.join(", "));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let cmd = match args.next() {
+        Some(c) => c,
+        None => {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => generate(args),
+        "convert" => convert(args),
+        "stats" => stats(args),
+        "mattson" => mattson(args),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

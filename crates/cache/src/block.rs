@@ -1,0 +1,76 @@
+//! Cache block frames.
+
+use serde::{Deserialize, Serialize};
+
+/// One block frame: a place in the cache where a block may reside.
+///
+/// Frames store the full-width tag; narrower stored-tag widths (the paper
+/// studies 16- and 32-bit tags) are applied by the lookup strategies in
+/// `seta-core`, not by the content simulation — tag width affects probe
+/// counts, never hit/miss behaviour in a correctly functioning cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Frame {
+    /// Whether the frame holds a block.
+    pub valid: bool,
+    /// Whether the held block has been written since it was filled
+    /// (write-back caches must write dirty victims to the next level).
+    pub dirty: bool,
+    /// Full-width tag of the held block; meaningless when `!valid`.
+    pub tag: u64,
+}
+
+impl Frame {
+    /// An empty (invalid) frame.
+    pub fn empty() -> Self {
+        Frame::default()
+    }
+
+    /// A frame holding `tag`, clean or dirty.
+    pub fn filled(tag: u64, dirty: bool) -> Self {
+        Frame {
+            valid: true,
+            dirty,
+            tag,
+        }
+    }
+
+    /// Whether this frame holds the given tag.
+    pub fn matches(&self, tag: u64) -> bool {
+        self.valid && self.tag == tag
+    }
+
+    /// Invalidates the frame.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+        self.dirty = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_frame_matches_nothing() {
+        let f = Frame::empty();
+        assert!(!f.valid);
+        assert!(!f.matches(0));
+        assert!(!f.matches(f.tag));
+    }
+
+    #[test]
+    fn filled_frame_matches_its_tag_only() {
+        let f = Frame::filled(0xABC, false);
+        assert!(f.matches(0xABC));
+        assert!(!f.matches(0xABD));
+    }
+
+    #[test]
+    fn invalidate_clears_state() {
+        let mut f = Frame::filled(1, true);
+        f.invalidate();
+        assert!(!f.valid);
+        assert!(!f.dirty);
+        assert!(!f.matches(1));
+    }
+}

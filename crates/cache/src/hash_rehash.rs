@@ -1,0 +1,423 @@
+//! Agarwal's hash-rehash cache.
+//!
+//! The paper's footnote 2 observes that while swapping blocks to maintain
+//! MRU order is feasible for a 2-way set-associative cache, "Agarwal's
+//! hash-rehash cache can be superior to MRU in this 2-way case". This
+//! module implements that comparator: a direct-mapped memory array probed
+//! under **two** hash functions. A block is looked up at its primary index
+//! first (one probe); on failure, at its rehash index (a second probe),
+//! and a rehash hit swaps the two frames so the block moves back to its
+//! primary slot — a cheap approximation of LRU ordering with purely
+//! direct-mapped hardware.
+//!
+//! The rehash function flips the top index bit, an involution: the swap
+//! partner of a block's primary slot is its rehash slot and vice versa, so
+//! swapping never makes a resident block unreachable.
+//!
+//! Cost model (same probe unit as the lookup strategies): primary hit = 1
+//! probe, rehash hit = 2, miss = 2 (both locations examined). The swap
+//! itself moves data but reads no additional tags.
+
+use crate::cache::EvictedBlock;
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+use crate::Frame;
+
+/// Outcome of one [`HashRehashCache::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HrAccess {
+    /// Whether the block was resident (at either location).
+    pub hit: bool,
+    /// Whether the hit was at the rehash location (and a swap occurred).
+    pub rehash_hit: bool,
+    /// Tag probes the lookup cost (1, or 2).
+    pub probes: u32,
+    /// The block evicted by a fill, if any.
+    pub evicted: Option<EvictedBlock>,
+}
+
+/// A hash-rehash cache: direct-mapped hardware, two probe locations.
+///
+/// # Example
+///
+/// ```
+/// use seta_cache::{CacheConfig, HashRehashCache};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut cache = HashRehashCache::new(CacheConfig::direct_mapped(1024, 16)?)?;
+/// assert!(!cache.access(0x40, false).hit);
+/// let again = cache.access(0x40, false);
+/// assert!(again.hit);
+/// assert_eq!(again.probes, 1, "primary hit");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRehashCache {
+    config: CacheConfig,
+    offset_bits: u32,
+    index_mask: u64,
+    /// XORed into an index to obtain the rehash index (top index bit).
+    flip: u64,
+    frames: Vec<Frame>,
+    stats: CacheStats,
+    primary_hits: u64,
+    rehash_hits: u64,
+    probes: u64,
+}
+
+/// Errors from constructing a [`HashRehashCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HashRehashError {
+    /// The configuration must be direct-mapped (associativity 1): the
+    /// second way of a hash-rehash cache comes from the rehash function,
+    /// not from wider sets.
+    NotDirectMapped {
+        /// The offending associativity.
+        associativity: u32,
+    },
+    /// At least two frames are needed for a distinct rehash location.
+    TooSmall,
+}
+
+impl std::fmt::Display for HashRehashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HashRehashError::NotDirectMapped { associativity } => write!(
+                f,
+                "hash-rehash caches are direct-mapped; got associativity {associativity}"
+            ),
+            HashRehashError::TooSmall => f.write_str("need at least two block frames"),
+        }
+    }
+}
+
+impl std::error::Error for HashRehashError {}
+
+impl HashRehashCache {
+    /// Creates an empty cache from a direct-mapped configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `config` is not direct-mapped or holds fewer
+    /// than two frames.
+    pub fn new(config: CacheConfig) -> Result<Self, HashRehashError> {
+        if config.associativity() != 1 {
+            return Err(HashRehashError::NotDirectMapped {
+                associativity: config.associativity(),
+            });
+        }
+        let frames = config.num_frames();
+        if frames < 2 {
+            return Err(HashRehashError::TooSmall);
+        }
+        Ok(HashRehashCache {
+            config,
+            offset_bits: config.block_size().trailing_zeros(),
+            index_mask: frames - 1,
+            flip: frames / 2,
+            frames: vec![Frame::empty(); frames as usize],
+            stats: CacheStats::new(),
+            primary_hits: 0,
+            rehash_hits: 0,
+            probes: 0,
+        })
+    }
+
+    /// The geometry of this cache.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Hits satisfied at the primary location (one probe).
+    pub fn primary_hits(&self) -> u64 {
+        self.primary_hits
+    }
+
+    /// Hits satisfied at the rehash location (two probes plus a swap).
+    pub fn rehash_hits(&self) -> u64 {
+        self.rehash_hits
+    }
+
+    /// Total probes across all accesses.
+    pub fn total_probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Mean probes per access, 0 when empty.
+    pub fn mean_probes(&self) -> f64 {
+        if self.stats.accesses() == 0 {
+            0.0
+        } else {
+            self.probes as f64 / self.stats.accesses() as f64
+        }
+    }
+
+    fn block_number(&self, addr: u64) -> u64 {
+        addr >> self.offset_bits
+    }
+
+    fn primary_index(&self, block: u64) -> usize {
+        (block & self.index_mask) as usize
+    }
+
+    fn block_addr_of(&self, frame_tag: u64) -> u64 {
+        frame_tag << self.offset_bits
+    }
+
+    /// Non-mutating residency check.
+    pub fn probe(&self, addr: u64) -> bool {
+        let block = self.block_number(addr);
+        let h0 = self.primary_index(block);
+        let h1 = h0 ^ self.flip as usize;
+        self.frames[h0].matches(block) || self.frames[h1].matches(block)
+    }
+
+    /// Performs one access. See the module docs for the probe cost model
+    /// and placement policy.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> HrAccess {
+        let block = self.block_number(addr);
+        let h0 = self.primary_index(block);
+        let h1 = h0 ^ self.flip as usize;
+
+        if self.frames[h0].matches(block) {
+            self.frames[h0].dirty |= is_write;
+            self.stats.record_access(true, is_write);
+            self.primary_hits += 1;
+            self.probes += 1;
+            return HrAccess {
+                hit: true,
+                rehash_hit: false,
+                probes: 1,
+                evicted: None,
+            };
+        }
+        if self.frames[h1].matches(block) {
+            // Rehash hit: swap so the block returns to its primary slot.
+            // The displaced frame lands at its own alternate location
+            // because the rehash function is an involution.
+            self.frames.swap(h0, h1);
+            self.frames[h0].dirty |= is_write;
+            self.stats.record_access(true, is_write);
+            self.rehash_hits += 1;
+            self.probes += 2;
+            return HrAccess {
+                hit: true,
+                rehash_hit: true,
+                probes: 2,
+                evicted: None,
+            };
+        }
+
+        // Miss: the new block takes the primary slot, the previous primary
+        // occupant (if any) is demoted to the rehash slot, and whatever was
+        // there is evicted.
+        self.stats.record_access(false, is_write);
+        self.probes += 2;
+        let evicted = if self.frames[h0].valid {
+            let demoted = self.frames[h0];
+            let displaced = self.frames[h1];
+            self.frames[h1] = demoted;
+            displaced.valid.then(|| {
+                self.stats.record_eviction(displaced.dirty);
+                EvictedBlock {
+                    addr: self.block_addr_of(displaced.tag),
+                    dirty: displaced.dirty,
+                }
+            })
+        } else {
+            None
+        };
+        self.frames[h0] = Frame::filled(block, is_write);
+        HrAccess {
+            hit: false,
+            rehash_hit: false,
+            probes: 2,
+            evicted,
+        }
+    }
+
+    /// Invalidates every block (statistics are kept).
+    pub fn flush(&mut self) {
+        for f in &mut self.frames {
+            f.invalidate();
+        }
+    }
+
+    /// Number of valid blocks currently resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.frames.iter().filter(|f| f.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small() -> HashRehashCache {
+        // 16 frames of 16 B.
+        HashRehashCache::new(CacheConfig::direct_mapped(256, 16).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn primary_hit_costs_one_probe() {
+        let mut c = small();
+        c.access(0x40, false);
+        let r = c.access(0x40, false);
+        assert!(r.hit && !r.rehash_hit);
+        assert_eq!(r.probes, 1);
+    }
+
+    #[test]
+    fn conflicting_block_demotes_to_rehash_slot() {
+        let mut c = small();
+        // 0x000 and 0x100 share primary index 0 (16 frames × 16 B).
+        c.access(0x000, false);
+        let miss = c.access(0x100, false);
+        assert!(!miss.hit);
+        assert!(miss.evicted.is_none(), "0x000 was demoted, not evicted");
+        // 0x000 now answers from the rehash slot, costing 2 probes...
+        let r = c.access(0x000, false);
+        assert!(r.hit && r.rehash_hit);
+        assert_eq!(r.probes, 2);
+        // ...and the swap restored it to primary: next access costs 1.
+        assert_eq!(c.access(0x000, false).probes, 1);
+        // The swapped-out 0x100 is still resident and findable.
+        let r = c.access(0x100, false);
+        assert!(r.hit && r.rehash_hit);
+    }
+
+    #[test]
+    fn third_conflicting_block_evicts() {
+        let mut c = small();
+        c.access(0x000, true); // dirty
+        c.access(0x100, false); // demotes dirty 0x000 to rehash slot
+        let r = c.access(0x200, false); // demotes 0x100, evicts 0x000
+        assert!(!r.hit);
+        let e = r.evicted.expect("rehash slot occupant is displaced");
+        assert_eq!(e.addr, 0x000);
+        assert!(e.dirty);
+        assert!(c.probe(0x100));
+        assert!(c.probe(0x200));
+        assert!(!c.probe(0x000));
+    }
+
+    #[test]
+    fn behaves_like_two_way_for_two_conflicting_blocks() {
+        // Two blocks sharing a primary index both stay resident.
+        let mut c = small();
+        c.access(0x000, false);
+        c.access(0x100, false);
+        assert!(c.probe(0x000));
+        assert!(c.probe(0x100));
+        assert_eq!(c.resident_blocks(), 2);
+    }
+
+    #[test]
+    fn rehash_slot_is_a_distinct_frame() {
+        // Primary index 0 → rehash index 8 (top bit of a 16-frame array).
+        let mut c = small();
+        c.access(0x000, false);
+        c.access(0x100, false);
+        // A block whose PRIMARY index is 8 now conflicts with the demoted
+        // 0x000 (0x080 >> 4 = 8).
+        let r = c.access(0x080, false);
+        assert!(!r.hit);
+        // 0x080 takes frame 8's primary slot; 0x000 demotes to frame 0...
+        // which is occupied by 0x100 → 0x100... actually 0x000's demotion
+        // happens from frame 8: the occupant of frame 0 (0x100's primary
+        // slot) is evicted.
+        assert!(c.probe(0x080));
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut c = small();
+        for i in 0..32 {
+            c.access(i * 16, true);
+        }
+        c.flush();
+        assert_eq!(c.resident_blocks(), 0);
+        assert!(!c.access(0x00, false).hit);
+    }
+
+    #[test]
+    fn probe_counters_accumulate() {
+        let mut c = small();
+        c.access(0x40, false); // miss: 2
+        c.access(0x40, false); // primary hit: 1
+        assert_eq!(c.total_probes(), 3);
+        assert!((c.mean_probes() - 1.5).abs() < 1e-12);
+        assert_eq!(c.primary_hits(), 1);
+        assert_eq!(c.rehash_hits(), 0);
+    }
+
+    #[test]
+    fn rejects_set_associative_configs() {
+        let err = HashRehashCache::new(CacheConfig::new(256, 16, 2).unwrap()).unwrap_err();
+        assert!(matches!(err, HashRehashError::NotDirectMapped { .. }));
+        assert!(err.to_string().contains("direct-mapped"));
+    }
+
+    #[test]
+    fn rejects_single_frame_caches() {
+        let err = HashRehashCache::new(CacheConfig::direct_mapped(16, 16).unwrap()).unwrap_err();
+        assert_eq!(err, HashRehashError::TooSmall);
+    }
+
+    proptest! {
+        /// No access sequence can make a resident block unreachable: after
+        /// any sequence, re-accessing the most recent address always hits.
+        #[test]
+        fn most_recent_block_is_always_resident(
+            addrs in proptest::collection::vec(0u64..0x1000, 1..200)
+        ) {
+            let mut c = small();
+            for &a in &addrs {
+                c.access(a, false);
+                prop_assert!(c.probe(a), "block {a:#x} lost after its own access");
+            }
+        }
+
+        /// The swap involution keeps every resident block findable: the
+        /// set of resident blocks (by tag) always equals the set of blocks
+        /// that `probe` can find.
+        #[test]
+        fn every_resident_block_is_reachable(
+            addrs in proptest::collection::vec(0u64..0x1000, 1..200)
+        ) {
+            let mut c = small();
+            for &a in &addrs {
+                c.access(a, a % 2 == 0);
+            }
+            for f in c.frames.clone() {
+                if f.valid {
+                    prop_assert!(
+                        c.probe(f.tag << 4),
+                        "resident block {:#x} unreachable", f.tag << 4
+                    );
+                }
+            }
+        }
+
+        /// Probes per access are always 1 or 2, and resident blocks never
+        /// exceed the frame count.
+        #[test]
+        fn probe_and_capacity_bounds(
+            addrs in proptest::collection::vec(any::<u64>(), 1..200)
+        ) {
+            let mut c = small();
+            for &a in &addrs {
+                let r = c.access(a, false);
+                prop_assert!(r.probes == 1 || r.probes == 2);
+                prop_assert!(c.resident_blocks() <= 16);
+            }
+        }
+    }
+}

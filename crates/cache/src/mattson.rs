@@ -1,0 +1,321 @@
+//! One-pass LRU stack-distance analysis (Mattson et al., 1970).
+//!
+//! The paper's MRU analysis rests on the stack-distance machinery of
+//! \[Matt70\]: for LRU replacement, a reference hits in an `a`-way set iff
+//! its *stack distance* — the number of distinct blocks touching its set
+//! since its last reference — is below `a`. One pass over a trace
+//! therefore yields the exact hit/miss behaviour of **every**
+//! associativity at once (for a fixed set count), and the distance
+//! histogram conditioned on a hit is exactly the paper's `fᵢ`
+//! distribution.
+//!
+//! This module is both a user-facing analysis tool (miss-ratio curves in
+//! one pass) and a cross-validator: integration tests check that a
+//! [`Cache`](crate::Cache) with LRU replacement reproduces the analyzer's
+//! predictions *exactly*, reference for reference.
+
+use crate::addr::AddressMapper;
+use serde::{Deserialize, Serialize};
+
+/// One-pass stack-distance analyzer for a family of LRU caches sharing a
+/// block size and set count.
+///
+/// # Example
+///
+/// ```
+/// use seta_cache::mattson::MattsonAnalyzer;
+///
+/// let mut m = MattsonAnalyzer::new(16, 1); // fully-associative, 16 B blocks
+/// for addr in [0x00u64, 0x10, 0x00, 0x20, 0x10] {
+///     m.observe(addr);
+/// }
+/// // 0x00 re-referenced at distance 1, 0x10 at distance 2.
+/// assert_eq!(m.hits_at_distance(1), 1);
+/// assert_eq!(m.hits_at_distance(2), 1);
+/// assert_eq!(m.misses(2), 3 + 1); // 3 cold + the distance-2 reuse
+/// assert_eq!(m.misses(4), 3);     // wide enough to catch both reuses
+/// ```
+#[derive(Debug, Clone)]
+pub struct MattsonAnalyzer {
+    mapper: AddressMapper,
+    /// Per-set LRU stacks of tags, most recent first (unbounded — the
+    /// analyzer models every associativity simultaneously).
+    stacks: Vec<Vec<u64>>,
+    /// `hist[d]` = references whose stack distance was `d` (0-based:
+    /// `d = 0` means the block was the set's MRU block).
+    hist: Vec<u64>,
+    cold: u64,
+    refs: u64,
+}
+
+/// Summary of an analyzed trace, serializable for reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MattsonSummary {
+    /// Total references analyzed.
+    pub refs: u64,
+    /// Cold (first-touch) references.
+    pub cold: u64,
+    /// Miss ratio for each associativity `1..=max_assoc`.
+    pub miss_ratios: Vec<f64>,
+}
+
+impl MattsonAnalyzer {
+    /// Creates an analyzer for caches with the given block size and set
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not a power of two.
+    pub fn new(block_size: u64, num_sets: u64) -> Self {
+        let mapper = AddressMapper::new(block_size, num_sets);
+        MattsonAnalyzer {
+            mapper,
+            stacks: vec![Vec::new(); num_sets as usize],
+            hist: Vec::new(),
+            cold: 0,
+            refs: 0,
+        }
+    }
+
+    /// The address mapper (block size / set count) in force.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Observes one reference, returning its 0-based stack distance
+    /// (`None` for a cold first touch).
+    pub fn observe(&mut self, addr: u64) -> Option<usize> {
+        self.refs += 1;
+        let set = self.mapper.set_of(addr) as usize;
+        let tag = self.mapper.tag_of(addr);
+        let stack = &mut self.stacks[set];
+        match stack.iter().position(|&t| t == tag) {
+            Some(d) => {
+                stack[..=d].rotate_right(1);
+                if self.hist.len() <= d {
+                    self.hist.resize(d + 1, 0);
+                }
+                self.hist[d] += 1;
+                Some(d)
+            }
+            None => {
+                stack.insert(0, tag);
+                self.cold += 1;
+                None
+            }
+        }
+    }
+
+    /// Clears the stacks (cold-start), keeping accumulated statistics —
+    /// call at trace segment boundaries, mirroring a cache flush.
+    pub fn flush(&mut self) {
+        for s in &mut self.stacks {
+            s.clear();
+        }
+    }
+
+    /// Total references observed.
+    pub fn refs(&self) -> u64 {
+        self.refs
+    }
+
+    /// Cold (first-touch) references.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold
+    }
+
+    /// References that re-used a block at exactly 0-based distance `d`.
+    pub fn hits_at_distance(&self, d: usize) -> u64 {
+        self.hist.get(d).copied().unwrap_or(0)
+    }
+
+    /// Exact miss count of an `assoc`-way LRU cache with this geometry:
+    /// cold misses plus every reuse at distance ≥ `assoc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is zero.
+    pub fn misses(&self, assoc: u32) -> u64 {
+        assert!(assoc > 0, "associativity must be positive");
+        let deep: u64 = self.hist.iter().skip(assoc as usize).sum();
+        self.cold + deep
+    }
+
+    /// Exact miss ratio of an `assoc`-way LRU cache with this geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is zero.
+    pub fn miss_ratio(&self, assoc: u32) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.misses(assoc) as f64 / self.refs as f64
+        }
+    }
+
+    /// The paper's `fᵢ` for an `assoc`-way cache: probability that a hit
+    /// lands at MRU position `i` (1-based), given that it hits. Empty when
+    /// there are no hits within `assoc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is zero.
+    pub fn f_distribution(&self, assoc: u32) -> Vec<f64> {
+        assert!(assoc > 0, "associativity must be positive");
+        let a = assoc as usize;
+        let hits: u64 = self.hist.iter().take(a).sum();
+        if hits == 0 {
+            return Vec::new();
+        }
+        (0..a)
+            .map(|d| self.hits_at_distance(d) as f64 / hits as f64)
+            .collect()
+    }
+
+    /// Summarizes miss ratios for associativities `1..=max_assoc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_assoc` is zero.
+    pub fn summary(&self, max_assoc: u32) -> MattsonSummary {
+        assert!(max_assoc > 0, "max_assoc must be positive");
+        MattsonSummary {
+            refs: self.refs,
+            cold: self.cold,
+            miss_ratios: (1..=max_assoc).map(|a| self.miss_ratio(a)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Cache;
+    use crate::config::CacheConfig;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cold_references_have_no_distance() {
+        let mut m = MattsonAnalyzer::new(16, 4);
+        assert_eq!(m.observe(0x00), None);
+        assert_eq!(m.observe(0x40), None);
+        assert_eq!(m.cold_misses(), 2);
+    }
+
+    #[test]
+    fn distances_count_distinct_intervening_blocks() {
+        let mut m = MattsonAnalyzer::new(16, 1);
+        for addr in [0x00u64, 0x10, 0x20, 0x10, 0x00] {
+            m.observe(addr);
+        }
+        // 0x10 re-referenced past {0x20} → distance 1.
+        // 0x00 re-referenced past {0x10, 0x20} → distance 2.
+        assert_eq!(m.hits_at_distance(1), 1);
+        assert_eq!(m.hits_at_distance(2), 1);
+    }
+
+    #[test]
+    fn repeated_references_are_distance_zero() {
+        let mut m = MattsonAnalyzer::new(16, 1);
+        m.observe(0x00);
+        m.observe(0x04);
+        m.observe(0x08);
+        assert_eq!(m.hits_at_distance(0), 2, "same block, offsets differ");
+    }
+
+    #[test]
+    fn miss_ratios_are_monotone_in_associativity() {
+        let mut m = MattsonAnalyzer::new(16, 2);
+        for i in 0..1000u64 {
+            m.observe((i * 37) % 0x800);
+        }
+        let mut prev = f64::INFINITY;
+        for a in 1..=16 {
+            let r = m.miss_ratio(a);
+            assert!(r <= prev, "a={a}: {r} > {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn flush_restarts_cold() {
+        let mut m = MattsonAnalyzer::new(16, 1);
+        m.observe(0x00);
+        m.flush();
+        assert_eq!(m.observe(0x00), None, "cold again after flush");
+        assert_eq!(m.cold_misses(), 2);
+    }
+
+    #[test]
+    fn f_distribution_is_normalized() {
+        let mut m = MattsonAnalyzer::new(16, 1);
+        for addr in [0x00u64, 0x10, 0x00, 0x10, 0x20, 0x00] {
+            m.observe(addr);
+        }
+        let f = m.f_distribution(4);
+        let total: f64 = f.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_f_distribution_when_no_hits() {
+        let m = MattsonAnalyzer::new(16, 1);
+        assert!(m.f_distribution(4).is_empty());
+    }
+
+    #[test]
+    fn summary_has_one_entry_per_associativity() {
+        let mut m = MattsonAnalyzer::new(16, 2);
+        for i in 0..100u64 {
+            m.observe(i * 16);
+        }
+        let s = m.summary(8);
+        assert_eq!(s.miss_ratios.len(), 8);
+        assert_eq!(s.refs, 100);
+    }
+
+    proptest! {
+        /// THE inclusion-property cross-check: the analyzer's predicted
+        /// miss count equals an actual LRU cache simulation, exactly, for
+        /// every associativity.
+        #[test]
+        fn predictions_match_cache_simulation_exactly(
+            addrs in proptest::collection::vec(0u64..0x2000, 1..400)
+        ) {
+            let num_sets = 4u64;
+            let block = 16u64;
+            let mut analyzer = MattsonAnalyzer::new(block, num_sets);
+            for &a in &addrs {
+                analyzer.observe(a);
+            }
+            for assoc in [1u32, 2, 4, 8] {
+                let config =
+                    CacheConfig::new(block * num_sets * assoc as u64, block, assoc).unwrap();
+                let mut cache = Cache::new(config);
+                for &a in &addrs {
+                    cache.access(a, false);
+                }
+                prop_assert_eq!(
+                    cache.stats().misses(),
+                    analyzer.misses(assoc),
+                    "associativity {}", assoc
+                );
+            }
+        }
+
+        /// Distances are insensitive to within-block offsets.
+        #[test]
+        fn offsets_do_not_matter(blocks in proptest::collection::vec(0u64..0x100, 1..100)) {
+            let mut aligned = MattsonAnalyzer::new(16, 2);
+            let mut offset = MattsonAnalyzer::new(16, 2);
+            for (i, &b) in blocks.iter().enumerate() {
+                aligned.observe(b * 16);
+                offset.observe(b * 16 + (i as u64 % 16));
+            }
+            for a in 1..=8 {
+                prop_assert_eq!(aligned.misses(a), offset.misses(a));
+            }
+        }
+    }
+}

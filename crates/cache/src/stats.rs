@@ -1,0 +1,187 @@
+//! Per-cache access statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss and eviction counters for one cache.
+///
+/// # Example
+///
+/// ```
+/// use seta_cache::CacheStats;
+///
+/// let mut s = CacheStats::new();
+/// s.record_access(true, false);
+/// s.record_access(false, true);
+/// assert_eq!(s.accesses(), 2);
+/// assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    hits: u64,
+    misses: u64,
+    write_hits: u64,
+    write_misses: u64,
+    evictions: u64,
+    dirty_evictions: u64,
+}
+
+impl CacheStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    /// Records one access outcome.
+    pub fn record_access(&mut self, hit: bool, is_write: bool) {
+        if hit {
+            self.hits += 1;
+            if is_write {
+                self.write_hits += 1;
+            }
+        } else {
+            self.misses += 1;
+            if is_write {
+                self.write_misses += 1;
+            }
+        }
+    }
+
+    /// Records an eviction, dirty or clean.
+    pub fn record_eviction(&mut self, dirty: bool) {
+        self.evictions += 1;
+        if dirty {
+            self.dirty_evictions += 1;
+        }
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Write hits.
+    pub fn write_hits(&self) -> u64 {
+        self.write_hits
+    }
+
+    /// Write misses.
+    pub fn write_misses(&self) -> u64 {
+        self.write_misses
+    }
+
+    /// Evictions of valid blocks.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Evictions of dirty blocks (these become write-backs).
+    pub fn dirty_evictions(&self) -> u64 {
+        self.dirty_evictions
+    }
+
+    /// Misses divided by accesses; 0 when there have been no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Hits divided by accesses; 0 when there have been no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = CacheStats::default();
+    }
+}
+
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            write_hits: self.write_hits + other.write_hits,
+            write_misses: self.write_misses + other.write_misses,
+            evictions: self.evictions + other.evictions,
+            dirty_evictions: self.dirty_evictions + other.dirty_evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = CacheStats::new();
+        s.record_access(true, false);
+        s.record_access(true, true);
+        s.record_access(false, true);
+        s.record_eviction(true);
+        s.record_eviction(false);
+        assert_eq!(s.hits(), 2);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.write_hits(), 1);
+        assert_eq!(s.write_misses(), 1);
+        assert_eq!(s.evictions(), 2);
+        assert_eq!(s.dirty_evictions(), 1);
+    }
+
+    #[test]
+    fn ratios_handle_empty() {
+        let s = CacheStats::new();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_sum_to_one() {
+        let mut s = CacheStats::new();
+        for i in 0..10 {
+            s.record_access(i % 3 == 0, false);
+        }
+        assert!((s.miss_ratio() + s.hit_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_combines_componentwise() {
+        let mut a = CacheStats::new();
+        a.record_access(true, true);
+        let mut b = CacheStats::new();
+        b.record_access(false, false);
+        b.record_eviction(true);
+        let c = a + b;
+        assert_eq!(c.accesses(), 2);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.dirty_evictions(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = CacheStats::new();
+        s.record_access(true, false);
+        s.reset();
+        assert_eq!(s, CacheStats::new());
+    }
+}

@@ -1,0 +1,230 @@
+//! Shared-bus contention model.
+//!
+//! The paper's introduction motivates wide associativity with
+//! multiprocessor economics: "bus miss times with low utilizations may be
+//! small, but delays due to contention among processors can become large
+//! and are sensitive to cache miss ratio." This module provides the
+//! standard open queueing model for that sentence — an M/M/1 bus shared
+//! by `n` processors — so the simulated miss ratios can be translated
+//! into the contention delays the paper argues about.
+//!
+//! The model is deliberately simple (exponential service, Poisson
+//! arrivals); it is the textbook first-order tool of the era, not a
+//! detailed interconnect simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// An M/M/1 shared bus: one transaction served at a time, mean service
+/// time `service_ns` per cache miss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusModel {
+    service_ns: f64,
+}
+
+impl BusModel {
+    /// Creates a bus with the given mean per-miss service time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service_ns` is not positive and finite.
+    pub fn new(service_ns: f64) -> Self {
+        assert!(
+            service_ns.is_finite() && service_ns > 0.0,
+            "service time must be positive and finite, got {service_ns}"
+        );
+        BusModel { service_ns }
+    }
+
+    /// Mean per-miss service time, ns.
+    pub fn service_ns(&self) -> f64 {
+        self.service_ns
+    }
+
+    /// Bus utilization offered by `n` processors that each generate
+    /// `miss_rate_per_ns` misses per nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `miss_rate_per_ns` is negative or not finite.
+    pub fn utilization(&self, n: u32, miss_rate_per_ns: f64) -> f64 {
+        assert!(
+            miss_rate_per_ns.is_finite() && miss_rate_per_ns >= 0.0,
+            "miss rate must be non-negative and finite, got {miss_rate_per_ns}"
+        );
+        n as f64 * miss_rate_per_ns * self.service_ns
+    }
+
+    /// Mean time a miss spends at the bus (queueing + service) at the
+    /// given utilization: `s / (1 − ρ)`. Returns `None` at or beyond
+    /// saturation (`ρ ≥ 1`).
+    pub fn residence_ns(&self, utilization: f64) -> Option<f64> {
+        if utilization >= 1.0 {
+            None
+        } else {
+            Some(self.service_ns / (1.0 - utilization))
+        }
+    }
+
+    /// Self-consistent effective time per processor reference for `n`
+    /// processors, where each reference costs `hit_ns` plus, with
+    /// probability `miss_ratio`, a bus round trip. The miss rate depends
+    /// on the reference time, which depends on bus residency, which
+    /// depends on the miss rate; the closed system self-throttles, and the
+    /// self-consistent time is the stable root of
+    ///
+    /// ```text
+    /// t = hit + m·t/(t − u),   m = miss_ratio·s,   u = n·miss_ratio·s
+    /// ```
+    ///
+    /// i.e. `t = (u+hit+m+√((u+hit+m)² − 4·hit·u))/2`. The bus never hard-
+    /// saturates — reference time simply grows without bound as `n` does —
+    /// which is exactly the "delays due to contention … can become large"
+    /// behaviour the paper describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hit_ns` is not positive or `miss_ratio` is not a
+    /// probability.
+    pub fn effective_ref_ns(&self, n: u32, hit_ns: f64, miss_ratio: f64) -> f64 {
+        assert!(
+            hit_ns.is_finite() && hit_ns > 0.0,
+            "hit time must be positive, got {hit_ns}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&miss_ratio),
+            "miss_ratio {miss_ratio} is not a probability"
+        );
+        if miss_ratio == 0.0 {
+            return hit_ns;
+        }
+        let m = miss_ratio * self.service_ns;
+        let u = n as f64 * m;
+        let b = u + hit_ns + m;
+        (b + (b * b - 4.0 * hit_ns * u).sqrt()) / 2.0
+    }
+
+    /// Contention slowdown: effective reference time for `n` processors
+    /// relative to a single processor.
+    pub fn slowdown(&self, n: u32, hit_ns: f64, miss_ratio: f64) -> f64 {
+        self.effective_ref_ns(n, hit_ns, miss_ratio) / self.effective_ref_ns(1, hit_ns, miss_ratio)
+    }
+
+    /// The largest processor count (capped at `limit`) whose contention
+    /// slowdown stays within `max_slowdown` — the practical capacity of
+    /// the bus for this cache configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_slowdown < 1`.
+    pub fn max_processors(
+        &self,
+        hit_ns: f64,
+        miss_ratio: f64,
+        limit: u32,
+        max_slowdown: f64,
+    ) -> u32 {
+        assert!(max_slowdown >= 1.0, "max_slowdown must be at least 1");
+        (1..=limit)
+            .take_while(|&n| self.slowdown(n, hit_ns, miss_ratio) <= max_slowdown)
+            .last()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residence_grows_with_utilization() {
+        let bus = BusModel::new(100.0);
+        let low = bus.residence_ns(0.1).expect("below saturation");
+        let high = bus.residence_ns(0.9).expect("below saturation");
+        assert!((low - 111.11).abs() < 0.1);
+        assert!((high - 1000.0).abs() < 0.1);
+        assert!(bus.residence_ns(1.0).is_none());
+        assert!(bus.residence_ns(1.5).is_none());
+    }
+
+    #[test]
+    fn zero_utilization_is_pure_service() {
+        let bus = BusModel::new(250.0);
+        assert_eq!(bus.residence_ns(0.0), Some(250.0));
+    }
+
+    #[test]
+    fn utilization_scales_linearly() {
+        let bus = BusModel::new(100.0);
+        let one = bus.utilization(1, 0.001);
+        let four = bus.utilization(4, 0.001);
+        assert!((four - 4.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_time_grows_with_processors() {
+        let bus = BusModel::new(200.0);
+        let mut prev = 0.0;
+        for n in 1..=8 {
+            let t = bus.effective_ref_ns(n, 50.0, 0.02);
+            assert!(t > prev, "n={n}: {t} <= {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn lower_miss_ratio_tolerates_more_processors() {
+        // The introduction's argument: associativity's lower miss ratio
+        // keeps contention delays acceptable for more processors, even
+        // with a slower (serial, multi-probe) hit time.
+        let bus = BusModel::new(400.0);
+        let direct = bus.max_processors(60.0, 0.05, 128, 2.0);
+        let assoc = bus.max_processors(90.0, 0.02, 128, 2.0);
+        assert!(
+            assoc > direct,
+            "4-way-ish ({assoc}) should sustain more processors than direct-mapped ({direct})"
+        );
+    }
+
+    #[test]
+    fn zero_miss_ratio_never_contends() {
+        let bus = BusModel::new(1000.0);
+        assert_eq!(bus.effective_ref_ns(64, 10.0, 0.0), 10.0);
+        assert_eq!(bus.max_processors(10.0, 0.0, 64, 1.5), 64);
+        assert_eq!(bus.slowdown(32, 10.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn solution_is_self_consistent() {
+        let bus = BusModel::new(300.0);
+        let n = 6;
+        let (hit, mr) = (40.0, 0.03);
+        let t = bus.effective_ref_ns(n, hit, mr);
+        let rho = bus.utilization(n, mr / t);
+        assert!(rho < 1.0, "stable root keeps the bus below saturation");
+        let residence = bus.residence_ns(rho).expect("below saturation");
+        assert!((t - (hit + mr * residence)).abs() < 1e-6, "t={t}, rhs={}", hit + mr * residence);
+    }
+
+    #[test]
+    fn single_processor_with_idle_bus_pays_pure_service() {
+        // With n=1 the paper's "low utilization" case: residence stays
+        // near the raw service time.
+        let bus = BusModel::new(200.0);
+        let t = bus.effective_ref_ns(1, 100.0, 0.01);
+        // t ≈ hit + mr·s·(small queueing correction).
+        assert!(t > 100.0 + 0.01 * 200.0 - 1e-9);
+        assert!(t < 100.0 + 0.01 * 200.0 * 1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_service_time_panics() {
+        BusModel::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_miss_ratio_panics() {
+        BusModel::new(100.0).effective_ref_ns(1, 10.0, 1.5);
+    }
+}

@@ -1,0 +1,206 @@
+//! MRU-distance distributions (the `fᵢ` of §2.1 and Figure 5).
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram of MRU distances observed on cache hits.
+///
+/// Distance `i` (0-based) means the hit was to the `(i+1)`-th entry of the
+/// set's MRU list; `f(i)` is the paper's `f_{i+1}` — the probability that
+/// the `(i+1)`-th most-recently-used tag matches, given a hit.
+///
+/// # Example
+///
+/// ```
+/// use seta_core::MruDistanceHistogram;
+///
+/// let mut h = MruDistanceHistogram::new(4);
+/// h.record(0);
+/// h.record(0);
+/// h.record(2);
+/// assert!((h.f(0) - 2.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MruDistanceHistogram {
+    counts: Vec<u64>,
+}
+
+impl MruDistanceHistogram {
+    /// Creates a histogram for distances `0..associativity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `associativity` is zero.
+    pub fn new(associativity: usize) -> Self {
+        assert!(associativity > 0, "associativity must be positive");
+        MruDistanceHistogram {
+            counts: vec![0; associativity],
+        }
+    }
+
+    /// Number of distance bins (the associativity).
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records a hit at 0-based MRU distance `distance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is out of range.
+    pub fn record(&mut self, distance: usize) {
+        assert!(
+            distance < self.counts.len(),
+            "distance {distance} out of 0..{}",
+            self.counts.len()
+        );
+        self.counts[distance] += 1;
+    }
+
+    /// Raw count at a distance.
+    pub fn count(&self, distance: usize) -> u64 {
+        self.counts.get(distance).copied().unwrap_or(0)
+    }
+
+    /// Total hits recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `fᵢ` for 0-based `i`: fraction of hits at that distance (0 when no
+    /// hits have been recorded).
+    pub fn f(&self, distance: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(distance) as f64 / total as f64
+        }
+    }
+
+    /// The full normalized distribution, for feeding
+    /// [`model::mru_hit`](crate::model::mru_hit).
+    pub fn distribution(&self) -> Vec<f64> {
+        (0..self.bins()).map(|i| self.f(i)).collect()
+    }
+
+    /// Fraction of hits at distance ≤ `distance` (cumulative).
+    pub fn cumulative(&self, distance: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            let head: u64 = self.counts.iter().take(distance + 1).sum();
+            head as f64 / total as f64
+        }
+    }
+
+    /// Expected probes for an MRU hit implied by this distribution:
+    /// `1 + Σ (i+1)·f(i)` — matches what a trace-driven
+    /// [`Mru`](crate::lookup::Mru) run measures.
+    pub fn expected_hit_probes(&self) -> f64 {
+        1.0 + (0..self.bins())
+            .map(|i| (i as f64 + 1.0) * self.f(i))
+            .sum::<f64>()
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin counts differ.
+    pub fn merge(&mut self, other: &MruDistanceHistogram) {
+        assert_eq!(self.bins(), other.bins(), "bin count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_normalizes() {
+        let mut h = MruDistanceHistogram::new(4);
+        for _ in 0..6 {
+            h.record(0);
+        }
+        for _ in 0..3 {
+            h.record(1);
+        }
+        h.record(3);
+        assert_eq!(h.total(), 10);
+        assert!((h.f(0) - 0.6).abs() < 1e-12);
+        assert!((h.f(1) - 0.3).abs() < 1e-12);
+        assert_eq!(h.f(2), 0.0);
+        assert!((h.f(3) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = MruDistanceHistogram::new(2);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.f(0), 0.0);
+        assert_eq!(h.cumulative(1), 0.0);
+        assert_eq!(h.expected_hit_probes(), 1.0);
+    }
+
+    #[test]
+    fn cumulative_reaches_one() {
+        let mut h = MruDistanceHistogram::new(3);
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        assert!((h.cumulative(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((h.cumulative(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_probes_matches_hand_computation() {
+        let mut h = MruDistanceHistogram::new(4);
+        // f = [0.5, 0.25, 0.25, 0]: E = 1 + 0.5·1 + 0.25·2 + 0.25·3 = 2.75.
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        assert!((h.expected_hit_probes() - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_probes_agrees_with_model() {
+        let mut h = MruDistanceHistogram::new(4);
+        for (d, n) in [(0usize, 7u64), (1, 2), (2, 1), (3, 2)] {
+            for _ in 0..n {
+                h.record(d);
+            }
+        }
+        let via_model = crate::model::mru_hit(&h.distribution());
+        assert!((h.expected_hit_probes() - via_model).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = MruDistanceHistogram::new(2);
+        a.record(0);
+        let mut b = MruDistanceHistogram::new(2);
+        b.record(1);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.count(0), 1);
+        assert_eq!(a.count(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_distance_panics() {
+        MruDistanceHistogram::new(2).record(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin count mismatch")]
+    fn merge_rejects_mismatched_bins() {
+        MruDistanceHistogram::new(2).merge(&MruDistanceHistogram::new(3));
+    }
+}

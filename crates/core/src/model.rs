@@ -1,0 +1,396 @@
+//! The closed-form expected-probe model of §2 and Table 1.
+//!
+//! All formulas assume `a`-way sets, `t`-bit tags, `k`-bit partial
+//! compares, `s` subsets, and — for the partial scheme — independent
+//! uniformly distributed tag slices (the probabilistic lower bound the
+//! trace-driven runs of Figure 6 are compared against).
+
+/// Expected probes for a traditional (parallel) lookup — hit or miss.
+pub fn traditional() -> f64 {
+    1.0
+}
+
+/// Expected probes for a naive serial lookup that hits:
+/// `(a−1)/2 + 1` (half the non-matching tags are examined first).
+///
+/// # Panics
+///
+/// Panics if `a` is zero.
+pub fn naive_hit(a: u32) -> f64 {
+    assert!(a > 0, "associativity must be positive");
+    (a as f64 - 1.0) / 2.0 + 1.0
+}
+
+/// Expected probes for a naive serial lookup that misses: all `a` tags.
+///
+/// # Panics
+///
+/// Panics if `a` is zero.
+pub fn naive_miss(a: u32) -> f64 {
+    assert!(a > 0, "associativity must be positive");
+    a as f64
+}
+
+/// Expected probes for an MRU lookup that hits: `1 + Σ i·fᵢ`, where `fᵢ`
+/// is the probability that the `i`-th most-recently-used tag matches,
+/// given a hit (`f` is indexed from 0, so `f[0]` is `f₁`).
+///
+/// # Panics
+///
+/// Panics if `f` is empty or does not sum to ~1.
+pub fn mru_hit(f: &[f64]) -> f64 {
+    assert!(!f.is_empty(), "need at least one MRU-distance probability");
+    let total: f64 = f.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-6,
+        "fᵢ must sum to 1 (got {total})"
+    );
+    1.0 + f
+        .iter()
+        .enumerate()
+        .map(|(i, &fi)| (i as f64 + 1.0) * fi)
+        .sum::<f64>()
+}
+
+/// Expected probes for an MRU lookup that misses: `1 + a` (the MRU list is
+/// consulted uselessly, then the whole set is scanned).
+///
+/// # Panics
+///
+/// Panics if `a` is zero.
+pub fn mru_miss(a: u32) -> f64 {
+    assert!(a > 0, "associativity must be positive");
+    a as f64 + 1.0
+}
+
+/// The partial-compare width `k = ⌊t·s/a⌋` for `t`-bit tags, `a` ways and
+/// `s` subsets.
+///
+/// # Panics
+///
+/// Panics if `s` does not divide `a`, or the resulting `k` would be zero.
+pub fn partial_k(t: u32, a: u32, s: u32) -> u32 {
+    assert!(a > 0 && s > 0, "a and s must be positive");
+    assert!(a % s == 0, "{s} subsets do not divide {a} ways");
+    let k = t / (a / s);
+    assert!(k > 0, "{t}-bit tags cannot supply {} concurrent compares", a / s);
+    k
+}
+
+/// Expected probes for a partial-compare lookup that hits, with `a` ways,
+/// `k`-bit compares, and `s` subsets:
+///
+/// ```text
+/// (s+1)/2  +  1  +  (s−1)/2 · (a/s)/2^k  +  (a/s − 1)/2^(k+1)
+/// ```
+///
+/// (step-one probes to reach the hit subset, the matching full compare,
+/// false matches in earlier subsets, false matches examined before the hit
+/// in its own subset). With `s = 1` this is Table 1's
+/// `2 + (a−1)/2^(k+1)`.
+///
+/// # Panics
+///
+/// Panics if `s` does not divide `a` or either is zero.
+pub fn partial_hit(a: u32, k: u32, s: u32) -> f64 {
+    assert!(a > 0 && s > 0, "a and s must be positive");
+    assert!(a % s == 0, "{s} subsets do not divide {a} ways");
+    let (a, s) = (a as f64, s as f64);
+    let per = a / s;
+    let sel = (2f64).powi(k as i32);
+    (s + 1.0) / 2.0 + 1.0 + (s - 1.0) / 2.0 * per / sel + (per - 1.0) / (2.0 * sel)
+}
+
+/// Expected probes for a partial-compare lookup that misses:
+/// `s + a/2^k` (every subset's step-one probe, plus all false matches).
+///
+/// # Panics
+///
+/// Panics if `s` does not divide `a` or either is zero.
+pub fn partial_miss(a: u32, k: u32, s: u32) -> f64 {
+    assert!(a > 0 && s > 0, "a and s must be positive");
+    assert!(a % s == 0, "{s} subsets do not divide {a} ways");
+    s as f64 + a as f64 / (2f64).powi(k as i32)
+}
+
+/// The optimum partial-compare width for hits only, treating variables as
+/// continuous: `k_opt = log₂(t) − 1/2` (§2.2's rule 2).
+///
+/// # Panics
+///
+/// Panics if `t` is zero.
+pub fn optimal_k(t: u32) -> f64 {
+    assert!(t > 0, "tag width must be positive");
+    (t as f64).log2() - 0.5
+}
+
+/// The subset count (a power of two dividing `a`) minimizing expected
+/// probes for the given hit and miss mix (§2.2's rule 1: compute the
+/// expectation for every `s` and take the minimum).
+///
+/// # Panics
+///
+/// Panics if `a` or `t` is zero, or `miss_ratio` is not a probability.
+pub fn best_subsets(t: u32, a: u32, miss_ratio: f64) -> u32 {
+    assert!(a > 0 && t > 0, "a and t must be positive");
+    assert!(
+        (0.0..=1.0).contains(&miss_ratio),
+        "miss_ratio {miss_ratio} is not a probability"
+    );
+    let mut best = (f64::INFINITY, 1u32);
+    let mut s = 1u32;
+    while s <= a {
+        if a % s == 0 && t / (a / s) >= 1 {
+            let k = partial_k(t, a, s);
+            let e = (1.0 - miss_ratio) * partial_hit(a, k, s) + miss_ratio * partial_miss(a, k, s);
+            if e < best.0 {
+                best = (e, s);
+            }
+        }
+        s *= 2;
+    }
+    best.1
+}
+
+/// §2.2's rule 3: the smallest subset count giving at least 4-bit partial
+/// compares (or `a` subsets — the naive degenerate — if none does).
+///
+/// # Panics
+///
+/// Panics if `a` or `t` is zero.
+pub fn subsets_for_four_bit_compares(t: u32, a: u32) -> u32 {
+    assert!(a > 0 && t > 0, "a and t must be positive");
+    let mut s = 1u32;
+    while s <= a {
+        if a % s == 0 && t / (a / s) >= 4 {
+            return s;
+        }
+        s *= 2;
+    }
+    a
+}
+
+/// Expected probes for a banked frame-order lookup that hits, with `b`
+/// tags compared per probe: positions are uniform under no locality, so
+/// the expectation is `1 + E[⌊pos/b⌋]` over positions `0..a`.
+///
+/// `b = 1` reduces to [`naive_hit`]; `b = a` to [`traditional`].
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is zero.
+pub fn banked_hit(a: u32, b: u32) -> f64 {
+    assert!(a > 0 && b > 0, "a and b must be positive");
+    let groups: u64 = (0..a as u64).map(|pos| pos / b as u64).sum();
+    1.0 + groups as f64 / a as f64
+}
+
+/// Expected probes for a banked frame-order lookup that misses:
+/// `⌈a/b⌉` group probes.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is zero.
+pub fn banked_miss(a: u32, b: u32) -> f64 {
+    assert!(a > 0 && b > 0, "a and b must be positive");
+    a.div_ceil(b) as f64
+}
+
+/// Expected probes for a banked MRU-order lookup that hits: one probe for
+/// the MRU list plus `E[⌈i/b⌉]` group probes, where `f` is the
+/// MRU-distance distribution (`f[0]` = probability the MRU tag matches).
+///
+/// `b = 1` reduces to [`mru_hit`].
+///
+/// # Panics
+///
+/// Panics if `b` is zero, `f` is empty, or `f` does not sum to ~1.
+pub fn banked_mru_hit(f: &[f64], b: u32) -> f64 {
+    assert!(b > 0, "b must be positive");
+    assert!(!f.is_empty(), "need at least one MRU-distance probability");
+    let total: f64 = f.iter().sum();
+    assert!((total - 1.0).abs() < 1e-6, "fᵢ must sum to 1 (got {total})");
+    1.0 + f
+        .iter()
+        .enumerate()
+        .map(|(i, &fi)| (i as u32 + 1).div_ceil(b) as f64 * fi)
+        .sum::<f64>()
+}
+
+/// Expected probes for a banked MRU-order lookup that misses:
+/// `1 + ⌈a/b⌉`.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is zero.
+pub fn banked_mru_miss(a: u32, b: u32) -> f64 {
+    1.0 + banked_miss(a, b)
+}
+
+/// Expected total probes per access given hit/miss expectations and a miss
+/// ratio.
+///
+/// # Panics
+///
+/// Panics if `miss_ratio` is not a probability.
+pub fn blend(hit: f64, miss: f64, miss_ratio: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&miss_ratio),
+        "miss_ratio {miss_ratio} is not a probability"
+    );
+    (1.0 - miss_ratio) * hit + miss_ratio * miss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 5e-3
+    }
+
+    #[test]
+    fn table1_traditional_row() {
+        assert_eq!(traditional(), 1.0);
+    }
+
+    #[test]
+    fn table1_naive_row() {
+        // a=4: hit 2.5, miss 4.
+        assert!(close(naive_hit(4), 2.5));
+        assert!(close(naive_miss(4), 4.0));
+    }
+
+    #[test]
+    fn table1_mru_row() {
+        // a=4: miss = 5; hit ranges over [2,5] depending on f.
+        assert!(close(mru_miss(4), 5.0));
+        assert!(close(mru_hit(&[1.0, 0.0, 0.0, 0.0]), 2.0));
+        assert!(close(mru_hit(&[0.0, 0.0, 0.0, 1.0]), 5.0));
+        assert!(close(mru_hit(&[0.25; 4]), 1.0 + 2.5));
+    }
+
+    #[test]
+    fn table1_partial_row() {
+        // a=4, k=4, s=1: hit 2 + 3/32 = 2.09..., miss 1 + 4/16 = 1.25.
+        assert!(close(partial_hit(4, 4, 1), 2.09375));
+        assert!(close(partial_miss(4, 4, 1), 1.25));
+    }
+
+    #[test]
+    fn table1_partial_subset_rows() {
+        // a=8, k=2, s=1: hit 2 + 7/8 = 2.875 ("2.88"), miss 1 + 8/4 = 3.
+        assert!(close(partial_hit(8, 2, 1), 2.875));
+        assert!(close(partial_miss(8, 2, 1), 3.0));
+        // a=8, k=4, s=2: hit 2.71875 ("2.72"), miss 2 + 8/16 = 2.5.
+        assert!(close(partial_hit(8, 4, 2), 2.71875));
+        assert!(close(partial_miss(8, 4, 2), 2.5));
+    }
+
+    #[test]
+    fn k_formula_matches_paper_examples() {
+        assert_eq!(partial_k(16, 4, 1), 4);
+        assert_eq!(partial_k(16, 8, 1), 2);
+        assert_eq!(partial_k(16, 8, 2), 4);
+        assert_eq!(partial_k(16, 16, 4), 4);
+        assert_eq!(partial_k(32, 16, 2), 4);
+    }
+
+    #[test]
+    fn subsets_reduce_probes_at_eight_way() {
+        // The paper's Table 1 note: going from 1 to 2 subsets improves the
+        // 8-way partial configuration at t=16.
+        let one = blend(partial_hit(8, 2, 1), partial_miss(8, 2, 1), 0.2);
+        let two = blend(partial_hit(8, 4, 2), partial_miss(8, 4, 2), 0.2);
+        assert!(two < one, "s=2 {two} should beat s=1 {one}");
+    }
+
+    #[test]
+    fn optimal_k_rule() {
+        assert!(close(optimal_k(16), 3.5));
+        assert!(close(optimal_k(32), 4.5));
+    }
+
+    #[test]
+    fn best_subsets_agrees_with_exhaustive_check() {
+        // t=16, a=8, 20% misses: s=2 wins (k goes 2 → 4).
+        assert_eq!(best_subsets(16, 8, 0.2), 2);
+        // t=16, a=4: k is already 4 with s=1.
+        assert_eq!(best_subsets(16, 4, 0.2), 1);
+        // t=32, a=4: k=8 with s=1; wider subsets only add probes.
+        assert_eq!(best_subsets(32, 4, 0.2), 1);
+        // t=16, a=16: the paper used s=4 (k=4).
+        assert_eq!(best_subsets(16, 16, 0.2), 4);
+    }
+
+    #[test]
+    fn four_bit_rule_matches_paper_choices() {
+        // The paper's Figure 3 used s = 1, 2, 4 for a = 4, 8, 16 at t=16.
+        assert_eq!(subsets_for_four_bit_compares(16, 4), 1);
+        assert_eq!(subsets_for_four_bit_compares(16, 8), 2);
+        assert_eq!(subsets_for_four_bit_compares(16, 16), 4);
+        // t=32 halves the needed subsets.
+        assert_eq!(subsets_for_four_bit_compares(32, 8), 1);
+        assert_eq!(subsets_for_four_bit_compares(32, 16), 2);
+    }
+
+    #[test]
+    fn banked_reduces_to_named_schemes() {
+        // b = 1 is naive; b = a is traditional.
+        for a in [2u32, 4, 8, 16] {
+            assert!(close(banked_hit(a, 1), naive_hit(a)));
+            assert!(close(banked_miss(a, 1), naive_miss(a)));
+            assert!(close(banked_hit(a, a), traditional()));
+            assert!(close(banked_miss(a, a), traditional()));
+        }
+        let f = [0.5, 0.25, 0.125, 0.125];
+        assert!(close(banked_mru_hit(&f, 1), mru_hit(&f)));
+        assert!(close(banked_mru_miss(4, 1), mru_miss(4)));
+    }
+
+    #[test]
+    fn banked_interpolates_monotonically() {
+        let mut prev = f64::INFINITY;
+        for b in [1u32, 2, 4, 8, 16] {
+            let h = banked_hit(16, b);
+            assert!(h <= prev, "b={b}: {h} > {prev}");
+            prev = h;
+        }
+        // Known value: a=8, b=2 → groups of 2, E = 1 + (0+0+1+1+2+2+3+3)/8.
+        assert!(close(banked_hit(8, 2), 1.0 + 12.0 / 8.0));
+        assert!(close(banked_miss(8, 3), 3.0));
+    }
+
+    #[test]
+    fn banked_mru_groups_distances() {
+        // f concentrated at distance 3 (0-based 2) with b=2: ceil(3/2)=2
+        // group probes + 1 list probe.
+        assert!(close(banked_mru_hit(&[0.0, 0.0, 1.0, 0.0], 2), 3.0));
+        assert!(close(banked_mru_miss(8, 4), 3.0));
+    }
+
+    #[test]
+    fn blend_is_a_convex_combination() {
+        assert!(close(blend(2.0, 4.0, 0.0), 2.0));
+        assert!(close(blend(2.0, 4.0, 1.0), 4.0));
+        assert!(close(blend(2.0, 4.0, 0.5), 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn mru_hit_rejects_unnormalized_f() {
+        mru_hit(&[0.5, 0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn blend_rejects_bad_ratio() {
+        blend(1.0, 2.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not divide")]
+    fn partial_k_rejects_bad_subsets() {
+        partial_k(16, 8, 3);
+    }
+}

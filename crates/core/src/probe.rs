@@ -1,0 +1,189 @@
+//! Probe accounting for trace-driven runs.
+
+use serde::{Deserialize, Serialize};
+
+/// A count of events and the probes they cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tally {
+    /// Number of events.
+    pub count: u64,
+    /// Total probes across those events.
+    pub probes: u64,
+}
+
+impl Tally {
+    /// Records one event costing `probes`.
+    pub fn record(&mut self, probes: u32) {
+        self.count += 1;
+        self.probes += probes as u64;
+    }
+
+    /// Mean probes per event; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.probes as f64 / self.count as f64
+        }
+    }
+}
+
+impl std::ops::Add for Tally {
+    type Output = Tally;
+
+    fn add(self, other: Tally) -> Tally {
+        Tally {
+            count: self.count + other.count,
+            probes: self.probes + other.probes,
+        }
+    }
+}
+
+/// Probe statistics for one lookup strategy over one simulation, split the
+/// way the paper reports them: read-in hits, read-in misses, and
+/// write-backs.
+///
+/// Table 4's conventions are reproduced by the accessors:
+/// [`read_in_mean`](ProbeStats::read_in_mean) covers read-ins only
+/// (Figures 4–6), while [`total_mean`](ProbeStats::total_mean) also folds
+/// in write-backs, which under the write-back optimization cost zero
+/// probes but still count as accesses ("they are counted as a hit and
+/// included in the averages").
+///
+/// # Example
+///
+/// ```
+/// use seta_core::ProbeStats;
+///
+/// let mut s = ProbeStats::new();
+/// s.record_hit(2);
+/// s.record_miss(4);
+/// s.record_write_back(0);
+/// assert_eq!(s.hit_mean(), 2.0);
+/// assert_eq!(s.read_in_mean(), 3.0);
+/// assert_eq!(s.total_mean(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeStats {
+    /// Read-ins that hit.
+    pub hits: Tally,
+    /// Read-ins that missed.
+    pub misses: Tally,
+    /// Write-backs (zero probes each under the write-back optimization).
+    pub write_backs: Tally,
+}
+
+impl ProbeStats {
+    /// Zeroed statistics.
+    pub fn new() -> Self {
+        ProbeStats::default()
+    }
+
+    /// Records a read-in hit costing `probes`.
+    pub fn record_hit(&mut self, probes: u32) {
+        self.hits.record(probes);
+    }
+
+    /// Records a read-in miss costing `probes`.
+    pub fn record_miss(&mut self, probes: u32) {
+        self.misses.record(probes);
+    }
+
+    /// Records a write-back costing `probes` (zero under the optimization).
+    pub fn record_write_back(&mut self, probes: u32) {
+        self.write_backs.record(probes);
+    }
+
+    /// Mean probes per read-in hit.
+    pub fn hit_mean(&self) -> f64 {
+        self.hits.mean()
+    }
+
+    /// Mean probes per read-in miss.
+    pub fn miss_mean(&self) -> f64 {
+        self.misses.mean()
+    }
+
+    /// Mean probes per read-in (hits and misses together).
+    pub fn read_in_mean(&self) -> f64 {
+        (self.hits + self.misses).mean()
+    }
+
+    /// Mean probes per L2 access, write-backs included (Table 4's "Total").
+    pub fn total_mean(&self) -> f64 {
+        (self.hits + self.misses + self.write_backs).mean()
+    }
+
+    /// Total events recorded.
+    pub fn accesses(&self) -> u64 {
+        self.hits.count + self.misses.count + self.write_backs.count
+    }
+}
+
+impl std::ops::Add for ProbeStats {
+    type Output = ProbeStats;
+
+    fn add(self, other: ProbeStats) -> ProbeStats {
+        ProbeStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            write_backs: self.write_backs + other.write_backs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_mean_handles_empty() {
+        assert_eq!(Tally::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn tally_records_and_averages() {
+        let mut t = Tally::default();
+        t.record(1);
+        t.record(3);
+        assert_eq!(t.count, 2);
+        assert_eq!(t.probes, 4);
+        assert_eq!(t.mean(), 2.0);
+    }
+
+    #[test]
+    fn read_in_mean_excludes_write_backs() {
+        let mut s = ProbeStats::new();
+        s.record_hit(2);
+        s.record_hit(4);
+        s.record_miss(6);
+        s.record_write_back(0);
+        s.record_write_back(0);
+        assert_eq!(s.hit_mean(), 3.0);
+        assert_eq!(s.miss_mean(), 6.0);
+        assert_eq!(s.read_in_mean(), 4.0);
+        // Total spreads 12 probes over 5 accesses.
+        assert!((s.total_mean() - 2.4).abs() < 1e-12);
+        assert_eq!(s.accesses(), 5);
+    }
+
+    #[test]
+    fn non_optimized_write_backs_cost_probes() {
+        let mut s = ProbeStats::new();
+        s.record_hit(2);
+        s.record_write_back(3);
+        assert_eq!(s.total_mean(), 2.5);
+    }
+
+    #[test]
+    fn add_merges_componentwise() {
+        let mut a = ProbeStats::new();
+        a.record_hit(2);
+        let mut b = ProbeStats::new();
+        b.record_miss(4);
+        let c = a + b;
+        assert_eq!(c.hits.count, 1);
+        assert_eq!(c.misses.count, 1);
+        assert_eq!(c.read_in_mean(), 3.0);
+    }
+}

@@ -1,0 +1,378 @@
+//! The implementation cost model of Table 2.
+//!
+//! The paper backs its probe-count analysis with trial board designs of the
+//! tag memory and comparison logic for a cache holding one million 24-bit
+//! tags, in both dynamic and static RAM. This module encodes those designs
+//! as data — memory package parameters, access/cycle-time formulas linear
+//! in the probe count, and package counts — so Table 2 regenerates from
+//! the model and other technologies can be explored.
+//!
+//! Serial schemes exploit *page-mode* DRAM: probes after the first to the
+//! same row cost far less than the first (35 ns vs 100 ns in the paper's
+//! parts), which is what makes multi-probe lookups affordable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// RAM technology of a trial design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RamTechnology {
+    /// Dynamic RAM (with page mode for the serial schemes).
+    Dram,
+    /// Static RAM.
+    Sram,
+}
+
+impl fmt::Display for RamTechnology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RamTechnology::Dram => f.write_str("dynamic RAM"),
+            RamTechnology::Sram => f.write_str("static RAM"),
+        }
+    }
+}
+
+/// Which lookup implementation a trial design realizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LookupImpl {
+    /// A direct-mapped cache (the cost floor).
+    DirectMapped,
+    /// The traditional wide parallel implementation.
+    Traditional,
+    /// The serial MRU implementation.
+    Mru,
+    /// The partial-compare implementation.
+    Partial,
+}
+
+impl fmt::Display for LookupImpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LookupImpl::DirectMapped => "direct-mapped",
+            LookupImpl::Traditional => "traditional",
+            LookupImpl::Mru => "MRU",
+            LookupImpl::Partial => "partial",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The memory packages a design is built from (top half of Table 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryPackage {
+    /// Chip organization, e.g. `"1Mx8"`.
+    pub organization: String,
+    /// Basic (first) access time, ns.
+    pub basic_access_ns: f64,
+    /// Page-mode access time for subsequent probes to the same row, ns
+    /// (`None` when the part has no useful page mode).
+    pub page_mode_access_ns: Option<f64>,
+    /// Basic cycle time, ns.
+    pub basic_cycle_ns: f64,
+    /// Page-mode cycle time, ns.
+    pub page_mode_cycle_ns: Option<f64>,
+}
+
+/// A time linear in a probe-count variable: `base + slope·v` ns.
+///
+/// For the MRU design `v` is `x`, the expected probes after reading the
+/// MRU list (1..a for hits, a for misses); for the partial design `v` is
+/// `y`, the step-two probes. A constant time has `slope = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingFormula {
+    /// Constant term, ns.
+    pub base_ns: f64,
+    /// Cost per probe-variable unit, ns.
+    pub slope_ns: f64,
+}
+
+impl TimingFormula {
+    /// A constant time.
+    pub fn constant(base_ns: f64) -> Self {
+        TimingFormula {
+            base_ns,
+            slope_ns: 0.0,
+        }
+    }
+
+    /// A probe-dependent time.
+    pub fn linear(base_ns: f64, slope_ns: f64) -> Self {
+        TimingFormula { base_ns, slope_ns }
+    }
+
+    /// Evaluates the formula at `v` probes.
+    pub fn at(&self, v: f64) -> f64 {
+        self.base_ns + self.slope_ns * v
+    }
+
+    /// Renders the formula as the paper prints it, e.g. `150+50x`.
+    pub fn render(&self, var: &str) -> String {
+        if self.slope_ns == 0.0 {
+            format!("{}", self.base_ns)
+        } else {
+            format!("{}+{}{var}", self.base_ns, self.slope_ns)
+        }
+    }
+}
+
+/// One trial design: a row pair of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialDesign {
+    /// Which implementation.
+    pub implementation: LookupImpl,
+    /// Which technology.
+    pub technology: RamTechnology,
+    /// The memory parts used.
+    pub memory: MemoryPackage,
+    /// Access time as a function of the design's probe variable.
+    pub access: TimingFormula,
+    /// Cycle time as a function of the probe variable (for MRU the
+    /// variable is `x + u`, where `u` is the probability the MRU list must
+    /// be updated).
+    pub cycle: TimingFormula,
+    /// Package count (tag memory + comparison logic).
+    pub packages: u32,
+}
+
+impl TrialDesign {
+    /// Access time at `v` probes, ns.
+    pub fn access_ns(&self, v: f64) -> f64 {
+        self.access.at(v)
+    }
+
+    /// Cycle time at `v` (for MRU, pass `x + u`), ns.
+    pub fn cycle_ns(&self, v: f64) -> f64 {
+        self.cycle.at(v)
+    }
+}
+
+/// The paper's four dynamic-RAM trial designs (left half of Table 2):
+/// 1M 24-bit tags, hybrid packages.
+pub fn paper_dram_designs() -> Vec<TrialDesign> {
+    vec![
+        TrialDesign {
+            implementation: LookupImpl::DirectMapped,
+            technology: RamTechnology::Dram,
+            memory: MemoryPackage {
+                organization: "1Mx8".into(),
+                basic_access_ns: 100.0,
+                page_mode_access_ns: None,
+                basic_cycle_ns: 190.0,
+                page_mode_cycle_ns: None,
+            },
+            access: TimingFormula::constant(136.0),
+            cycle: TimingFormula::constant(230.0),
+            packages: 18,
+        },
+        TrialDesign {
+            implementation: LookupImpl::Traditional,
+            technology: RamTechnology::Dram,
+            memory: MemoryPackage {
+                organization: "256Kx8".into(),
+                basic_access_ns: 80.0,
+                page_mode_access_ns: None,
+                basic_cycle_ns: 160.0,
+                page_mode_cycle_ns: None,
+            },
+            access: TimingFormula::constant(132.0),
+            cycle: TimingFormula::constant(190.0),
+            packages: 42,
+        },
+        TrialDesign {
+            implementation: LookupImpl::Mru,
+            technology: RamTechnology::Dram,
+            memory: MemoryPackage {
+                organization: "1Mx8".into(),
+                basic_access_ns: 100.0,
+                page_mode_access_ns: Some(35.0),
+                basic_cycle_ns: 190.0,
+                page_mode_cycle_ns: Some(35.0),
+            },
+            access: TimingFormula::linear(150.0, 50.0),
+            cycle: TimingFormula::linear(250.0, 50.0),
+            packages: 22,
+        },
+        TrialDesign {
+            implementation: LookupImpl::Partial,
+            technology: RamTechnology::Dram,
+            memory: MemoryPackage {
+                organization: "1Mx8".into(),
+                basic_access_ns: 100.0,
+                page_mode_access_ns: Some(35.0),
+                basic_cycle_ns: 190.0,
+                page_mode_cycle_ns: Some(35.0),
+            },
+            access: TimingFormula::linear(150.0, 50.0),
+            cycle: TimingFormula::linear(250.0, 50.0),
+            packages: 21,
+        },
+    ]
+}
+
+/// The paper's four static-RAM trial designs (right half of Table 2).
+pub fn paper_sram_designs() -> Vec<TrialDesign> {
+    vec![
+        TrialDesign {
+            implementation: LookupImpl::DirectMapped,
+            technology: RamTechnology::Sram,
+            memory: MemoryPackage {
+                organization: "1Mx4".into(),
+                basic_access_ns: 40.0,
+                page_mode_access_ns: None,
+                basic_cycle_ns: 40.0,
+                page_mode_cycle_ns: None,
+            },
+            access: TimingFormula::constant(61.0),
+            cycle: TimingFormula::constant(85.0),
+            packages: 20,
+        },
+        TrialDesign {
+            implementation: LookupImpl::Traditional,
+            technology: RamTechnology::Sram,
+            memory: MemoryPackage {
+                organization: "256Kx(16,8)".into(),
+                basic_access_ns: 40.0,
+                page_mode_access_ns: None,
+                basic_cycle_ns: 40.0,
+                page_mode_cycle_ns: None,
+            },
+            access: TimingFormula::constant(84.0),
+            cycle: TimingFormula::constant(100.0),
+            packages: 37,
+        },
+        TrialDesign {
+            implementation: LookupImpl::Mru,
+            technology: RamTechnology::Sram,
+            memory: MemoryPackage {
+                organization: "1Mx4".into(),
+                basic_access_ns: 40.0,
+                page_mode_access_ns: None,
+                basic_cycle_ns: 40.0,
+                page_mode_cycle_ns: None,
+            },
+            access: TimingFormula::linear(65.0, 55.0),
+            cycle: TimingFormula::linear(75.0, 55.0),
+            packages: 25,
+        },
+        TrialDesign {
+            implementation: LookupImpl::Partial,
+            technology: RamTechnology::Sram,
+            memory: MemoryPackage {
+                organization: "1Mx4".into(),
+                basic_access_ns: 40.0,
+                page_mode_access_ns: None,
+                basic_cycle_ns: 40.0,
+                page_mode_cycle_ns: None,
+            },
+            access: TimingFormula::linear(65.0, 55.0),
+            cycle: TimingFormula::linear(75.0, 55.0),
+            packages: 24,
+        },
+    ]
+}
+
+/// Effective mean access time of a serial design given the measured probe
+/// distribution: `x_mean` is the mean probe count *after* the initial
+/// consult (MRU) or the mean step-two probes (partial).
+pub fn effective_access_ns(design: &TrialDesign, x_mean: f64) -> f64 {
+    design.access_ns(x_mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_render_like_the_paper() {
+        assert_eq!(TimingFormula::linear(150.0, 50.0).render("x"), "150+50x");
+        assert_eq!(TimingFormula::constant(136.0).render("x"), "136");
+        assert_eq!(TimingFormula::linear(75.0, 55.0).render("x+u"), "75+55x+u");
+    }
+
+    #[test]
+    fn dram_designs_match_table2() {
+        let d = paper_dram_designs();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d[0].access_ns(0.0), 136.0);
+        assert_eq!(d[1].packages, 42);
+        // MRU with x = 1 (hit to the first MRU entry): 200 ns.
+        assert_eq!(d[2].access_ns(1.0), 200.0);
+        // Partial with y = 1: 200 ns; with y = 0 (miss, no step two): 150 ns.
+        assert_eq!(d[3].access_ns(1.0), 200.0);
+        assert_eq!(d[3].access_ns(0.0), 150.0);
+    }
+
+    #[test]
+    fn sram_designs_match_table2() {
+        let d = paper_sram_designs();
+        assert_eq!(d[0].packages, 20);
+        assert_eq!(d[1].access_ns(0.0), 84.0);
+        assert_eq!(d[2].access_ns(1.0), 120.0);
+        assert_eq!(d[3].cycle_ns(2.0), 185.0);
+    }
+
+    #[test]
+    fn serial_designs_save_packages_vs_traditional() {
+        for designs in [paper_dram_designs(), paper_sram_designs()] {
+            let traditional = designs
+                .iter()
+                .find(|d| d.implementation == LookupImpl::Traditional)
+                .unwrap()
+                .packages;
+            for d in &designs {
+                if matches!(d.implementation, LookupImpl::Mru | LookupImpl::Partial) {
+                    assert!(
+                        d.packages < traditional,
+                        "{} should use fewer packages than traditional",
+                        d.implementation
+                    );
+                    // "Tag memory cost is directly reduced, by 1/3 to 1/2".
+                    let saving = 1.0 - d.packages as f64 / traditional as f64;
+                    assert!(saving >= 0.30, "saving {saving} too small");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_designs_are_slower_than_traditional_per_lookup() {
+        // With even one post-consult probe, MRU/partial access exceeds the
+        // traditional implementation — the paper's "factor of two or more"
+        // for multi-probe lookups.
+        for designs in [paper_dram_designs(), paper_sram_designs()] {
+            let traditional = designs
+                .iter()
+                .find(|d| d.implementation == LookupImpl::Traditional)
+                .unwrap();
+            for d in &designs {
+                if matches!(d.implementation, LookupImpl::Mru | LookupImpl::Partial) {
+                    assert!(d.access_ns(2.0) > 2.0 * traditional.access_ns(0.0) * 0.9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn page_mode_is_cheaper_than_basic() {
+        for d in paper_dram_designs() {
+            if let Some(pm) = d.memory.page_mode_access_ns {
+                assert!(
+                    pm < d.memory.basic_access_ns / 2.0,
+                    "subsequent probes take less than half the first"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn effective_access_interpolates() {
+        let d = &paper_dram_designs()[2];
+        assert_eq!(effective_access_ns(d, 1.5), 225.0);
+    }
+
+    #[test]
+    fn displays_are_human_readable() {
+        assert_eq!(LookupImpl::Mru.to_string(), "MRU");
+        assert_eq!(RamTechnology::Dram.to_string(), "dynamic RAM");
+    }
+}

@@ -1,0 +1,587 @@
+//! Tag transformations over GF(2).
+//!
+//! The partial-compare scheme (§2.2) works best when every k-bit slice of a
+//! stored tag is uniformly distributed. High-order virtual-address tag bits
+//! are anything but uniform, so the paper stores *transformed* tags:
+//! bijective GF(2)-linear maps that fold the entropy of the low-order bits
+//! into the rest of the tag. Incoming tags go through the same map, so
+//! equality is preserved; write-backs invert the map to recover the
+//! original tag.
+//!
+//! Three named transforms from the paper, all on `t`-bit tags split into
+//! k-bit *fields* `p₀` (least significant) … `p_{m−1}`:
+//!
+//! * [`XorFold`] — `p₀` passes; every other field is XORed with `p₀`
+//!   ("the simple transformation of Section 2"). Self-inverse.
+//! * [`Improved`] — `p₀` passes; `p₁ ^= p₀`; every later field is XORed
+//!   with both `p₀` and `p₁` (the "new transformation" of Figure 6).
+//!   Not self-inverse, but its inverse costs the same gates.
+//! * [`Identity`] — no transformation (Figure 6's "None" line).
+//!
+//! [`Gf2Matrix`] provides the general machinery of the paper's footnote 8:
+//! arbitrary linear transformations with Gaussian-elimination inversion,
+//! used here to *prove* the named transforms bijective in tests and
+//! available for experimenting with new maps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bijective map on `t`-bit tags.
+///
+/// Implementations must satisfy `inverse(forward(x)) == x` for every
+/// `x < 2^t`; bits at and above `t` are ignored on input and zero on
+/// output.
+pub trait TagTransform: fmt::Debug {
+    /// The transform applied before a tag is stored (and to incoming tags
+    /// before comparison).
+    fn forward(&self, tag: u64) -> u64;
+
+    /// Recovers the original tag (needed to write back a block's address).
+    fn inverse(&self, tag: u64) -> u64;
+
+    /// Tag width in bits.
+    fn tag_bits(&self) -> u32;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The mask selecting the low `bits` bits of a tag (`bits ≤ 64`).
+pub fn tag_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+use tag_mask as mask;
+
+fn check_widths(tag_bits: u32, field_bits: u32) {
+    assert!(tag_bits >= 1 && tag_bits <= 64, "tag width {tag_bits} out of 1..=64");
+    assert!(
+        field_bits >= 1 && field_bits <= tag_bits,
+        "field width {field_bits} out of 1..={tag_bits}"
+    );
+}
+
+/// The identity transform — Figure 6's "None" configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Identity {
+    tag_bits: u32,
+}
+
+impl Identity {
+    /// Creates the identity on `t`-bit tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag_bits` is 0 or exceeds 64.
+    pub fn new(tag_bits: u32) -> Self {
+        check_widths(tag_bits, 1);
+        Identity { tag_bits }
+    }
+}
+
+impl TagTransform for Identity {
+    fn forward(&self, tag: u64) -> u64 {
+        tag & mask(self.tag_bits)
+    }
+
+    fn inverse(&self, tag: u64) -> u64 {
+        tag & mask(self.tag_bits)
+    }
+
+    fn tag_bits(&self) -> u32 {
+        self.tag_bits
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// The paper's simple transform: XOR the low-order field into every other
+/// field. Self-inverse (applying it twice yields the original tag).
+///
+/// # Example
+///
+/// ```
+/// use seta_core::transform::{TagTransform, XorFold};
+///
+/// let t = XorFold::new(16, 4);
+/// let tag = 0xABC5;
+/// let stored = t.forward(tag);
+/// assert_eq!(t.forward(stored), tag, "self-inverse");
+/// assert_eq!(t.inverse(stored), tag);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XorFold {
+    tag_bits: u32,
+    field_bits: u32,
+}
+
+impl XorFold {
+    /// Creates the transform on `t`-bit tags with `k`-bit fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths are out of range (`1 ≤ k ≤ t ≤ 64`).
+    pub fn new(tag_bits: u32, field_bits: u32) -> Self {
+        check_widths(tag_bits, field_bits);
+        XorFold {
+            tag_bits,
+            field_bits,
+        }
+    }
+
+    fn apply(&self, tag: u64) -> u64 {
+        let tag = tag & mask(self.tag_bits);
+        let p0 = tag & mask(self.field_bits);
+        // Broadcast p0 into every higher field and XOR. The replication
+        // pattern repeats p0 at every field offset above 0.
+        let mut pattern = 0u64;
+        let mut shift = self.field_bits;
+        while shift < self.tag_bits {
+            pattern |= p0 << shift;
+            shift += self.field_bits;
+        }
+        (tag ^ pattern) & mask(self.tag_bits)
+    }
+}
+
+impl TagTransform for XorFold {
+    fn forward(&self, tag: u64) -> u64 {
+        self.apply(tag)
+    }
+
+    fn inverse(&self, tag: u64) -> u64 {
+        // p0 is untouched by `apply`, so applying again cancels the XORs.
+        self.apply(tag)
+    }
+
+    fn tag_bits(&self) -> u32 {
+        self.tag_bits
+    }
+
+    fn name(&self) -> &'static str {
+        "xor"
+    }
+}
+
+/// The paper's improved transform (Figure 6's "New" line): `p₀` passes,
+/// `p₁` is XORed with `p₀`, and every later field is XORed with both `p₀`
+/// and `p₁` (fields of the *original* tag — a lower-triangular GF(2) map).
+///
+/// # Example
+///
+/// ```
+/// use seta_core::transform::{Improved, TagTransform};
+///
+/// let t = Improved::new(16, 4);
+/// let tag = 0x1234;
+/// assert_eq!(t.inverse(t.forward(tag)), tag);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Improved {
+    tag_bits: u32,
+    field_bits: u32,
+}
+
+impl Improved {
+    /// Creates the transform on `t`-bit tags with `k`-bit fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths are out of range (`1 ≤ k ≤ t ≤ 64`).
+    pub fn new(tag_bits: u32, field_bits: u32) -> Self {
+        check_widths(tag_bits, field_bits);
+        Improved {
+            tag_bits,
+            field_bits,
+        }
+    }
+}
+
+impl TagTransform for Improved {
+    fn forward(&self, tag: u64) -> u64 {
+        let tag = tag & mask(self.tag_bits);
+        let k = self.field_bits;
+        let p0 = tag & mask(k);
+        let p1 = (tag >> k) & mask(k);
+        let mut out = p0;
+        if k < self.tag_bits {
+            out |= (p1 ^ p0) << k;
+        }
+        let mut shift = 2 * k;
+        while shift < self.tag_bits {
+            let field = (tag >> shift) & mask(k);
+            out |= (field ^ p0 ^ p1) << shift;
+            shift += k;
+        }
+        out & mask(self.tag_bits)
+    }
+
+    fn inverse(&self, tag: u64) -> u64 {
+        let tag = tag & mask(self.tag_bits);
+        let k = self.field_bits;
+        let p0 = tag & mask(k);
+        let o1 = (tag >> k) & mask(k);
+        let p1 = o1 ^ p0;
+        let mut out = p0;
+        if k < self.tag_bits {
+            out |= p1 << k;
+        }
+        let mut shift = 2 * k;
+        while shift < self.tag_bits {
+            let field = (tag >> shift) & mask(k);
+            out |= (field ^ p0 ^ p1) << shift;
+            shift += k;
+        }
+        out & mask(self.tag_bits)
+    }
+
+    fn tag_bits(&self) -> u32 {
+        self.tag_bits
+    }
+
+    fn name(&self) -> &'static str {
+        "improved"
+    }
+}
+
+/// A dense `t×t` matrix over GF(2), stored one row per `u64` (row `i`, bit
+/// `j` = entry `(i,j)`). Applying the matrix to a tag computes `M·x` with
+/// XOR as addition — the general linear transformation of the paper's
+/// footnote 8.
+///
+/// # Example
+///
+/// ```
+/// use seta_core::transform::Gf2Matrix;
+///
+/// let m = Gf2Matrix::identity(8);
+/// assert_eq!(m.apply(0xA5), 0xA5);
+/// assert!(m.is_invertible());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gf2Matrix {
+    bits: u32,
+    rows: Vec<u64>,
+}
+
+impl Gf2Matrix {
+    /// The identity matrix on `bits`-bit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds 64.
+    pub fn identity(bits: u32) -> Self {
+        check_widths(bits, 1);
+        Gf2Matrix {
+            bits,
+            rows: (0..bits).map(|i| 1u64 << i).collect(),
+        }
+    }
+
+    /// Builds a matrix from rows (row `i`, bit `j` = entry `(i,j)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is 0, exceeds 64, or any row uses bits at or
+    /// above `rows.len()`.
+    pub fn from_rows(rows: Vec<u64>) -> Self {
+        let bits = rows.len() as u32;
+        check_widths(bits, 1);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!(
+                r & !mask(bits) == 0,
+                "row {i} uses bits beyond the matrix width"
+            );
+        }
+        Gf2Matrix { bits, rows }
+    }
+
+    /// The matrix of a [`TagTransform`] (by probing basis vectors). The
+    /// transform must be linear for the result to be meaningful.
+    pub fn of_transform<T: TagTransform + ?Sized>(t: &T) -> Self {
+        let bits = t.tag_bits();
+        // Column j of the matrix is forward(e_j); assemble rows from columns.
+        let mut rows = vec![0u64; bits as usize];
+        for j in 0..bits {
+            let col = t.forward(1u64 << j);
+            for (i, row) in rows.iter_mut().enumerate() {
+                if col & (1u64 << i) != 0 {
+                    *row |= 1u64 << j;
+                }
+            }
+        }
+        Gf2Matrix { bits, rows }
+    }
+
+    /// Vector width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Computes `M·x` over GF(2).
+    pub fn apply(&self, x: u64) -> u64 {
+        let x = x & mask(self.bits);
+        let mut out = 0u64;
+        for (i, &row) in self.rows.iter().enumerate() {
+            if (row & x).count_ones() % 2 == 1 {
+                out |= 1u64 << i;
+            }
+        }
+        out
+    }
+
+    /// Whether the matrix is invertible (full rank), decided by Gaussian
+    /// elimination.
+    pub fn is_invertible(&self) -> bool {
+        self.inverse().is_some()
+    }
+
+    /// The inverse matrix, if one exists.
+    pub fn inverse(&self) -> Option<Gf2Matrix> {
+        let n = self.bits as usize;
+        let mut a = self.rows.clone();
+        let mut inv = Gf2Matrix::identity(self.bits).rows;
+        for col in 0..n {
+            // Find a pivot row at or below `col` with a 1 in this column.
+            let pivot = (col..n).find(|&r| a[r] & (1u64 << col) != 0)?;
+            a.swap(col, pivot);
+            inv.swap(col, pivot);
+            for r in 0..n {
+                if r != col && a[r] & (1u64 << col) != 0 {
+                    a[r] ^= a[col];
+                    inv[r] ^= inv[col];
+                }
+            }
+        }
+        Some(Gf2Matrix {
+            bits: self.bits,
+            rows: inv,
+        })
+    }
+
+    /// Whether the matrix is lower-triangular with ones on the diagonal —
+    /// the sufficient condition for invertibility the paper's footnote 8
+    /// invokes.
+    pub fn is_unit_lower_triangular(&self) -> bool {
+        self.rows.iter().enumerate().all(|(i, &row)| {
+            let diag = row & (1u64 << i) != 0;
+            let above = row & !mask(i as u32 + 1) == 0;
+            diag && above
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn transforms() -> Vec<Box<dyn TagTransform>> {
+        vec![
+            Box::new(Identity::new(16)),
+            Box::new(XorFold::new(16, 4)),
+            Box::new(Improved::new(16, 4)),
+            Box::new(XorFold::new(32, 4)),
+            Box::new(Improved::new(32, 4)),
+            Box::new(XorFold::new(16, 5)), // t not a multiple of k
+            Box::new(Improved::new(16, 5)),
+            Box::new(XorFold::new(16, 16)), // single field: degenerate
+            Box::new(Improved::new(16, 16)),
+        ]
+    }
+
+    #[test]
+    fn forward_then_inverse_is_identity_exhaustive_small() {
+        for t in [
+            Box::new(XorFold::new(8, 2)) as Box<dyn TagTransform>,
+            Box::new(Improved::new(8, 2)),
+            Box::new(Identity::new(8)),
+        ] {
+            for tag in 0u64..256 {
+                assert_eq!(t.inverse(t.forward(tag)), tag, "{}", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn forward_is_a_bijection_exhaustive_small() {
+        for t in [
+            Box::new(XorFold::new(10, 3)) as Box<dyn TagTransform>,
+            Box::new(Improved::new(10, 3)),
+        ] {
+            let mut seen = vec![false; 1024];
+            for tag in 0u64..1024 {
+                let out = t.forward(tag) as usize;
+                assert!(!seen[out], "{} maps two tags to {out:#x}", t.name());
+                seen[out] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn xor_fold_is_self_inverse() {
+        let t = XorFold::new(16, 4);
+        for tag in [0u64, 1, 0xFFFF, 0xABC5, 0x8000] {
+            assert_eq!(t.forward(t.forward(tag)), tag);
+        }
+    }
+
+    #[test]
+    fn improved_is_not_self_inverse() {
+        let t = Improved::new(16, 4);
+        // forward∘forward XORs p0 into every field at index ≥ 2, so any tag
+        // with a nonzero low field and at least three fields is moved.
+        let tag = 0x0111u64;
+        assert_ne!(t.forward(t.forward(tag)), tag);
+    }
+
+    #[test]
+    fn xor_fold_known_value() {
+        // t=16, k=4: p0 = 0x5 is XORed into the three higher nibbles.
+        let t = XorFold::new(16, 4);
+        assert_eq!(t.forward(0xABC5), 0xABC5 ^ 0x5550);
+    }
+
+    #[test]
+    fn improved_known_value() {
+        // t=16, k=4, tag 0xDCBA: p0=A, p1=B → o1 = B^A = 1,
+        // o2 = C^A^B = C^1... (fields of the ORIGINAL tag)
+        let t = Improved::new(16, 4);
+        let p0 = 0xA;
+        let p1 = 0xB;
+        let expect = p0 | ((p1 ^ p0) << 4) | ((0xC ^ p0 ^ p1) << 8) | ((0xD ^ p0 ^ p1) << 12);
+        assert_eq!(t.forward(0xDCBA), expect);
+    }
+
+    #[test]
+    fn named_transforms_are_linear_and_unit_lower_triangular() {
+        for t in transforms() {
+            let m = Gf2Matrix::of_transform(t.as_ref());
+            // Linearity: M·x == forward(x) for random probes.
+            for x in [0u64, 1, 0x5555, 0xFFFF, 0x1234] {
+                assert_eq!(m.apply(x), t.forward(x), "{} not linear", t.name());
+            }
+            assert!(
+                m.is_unit_lower_triangular(),
+                "{} at t={} is not unit lower triangular",
+                t.name(),
+                t.tag_bits()
+            );
+            assert!(m.is_invertible());
+        }
+    }
+
+    #[test]
+    fn gf2_identity_applies_as_identity() {
+        let m = Gf2Matrix::identity(16);
+        for x in [0u64, 1, 0xFFFF, 0xA5A5] {
+            assert_eq!(m.apply(x), x);
+        }
+    }
+
+    #[test]
+    fn gf2_inverse_round_trips() {
+        let m = Gf2Matrix::of_transform(&Improved::new(12, 3));
+        let inv = m.inverse().expect("invertible");
+        for x in 0u64..(1 << 12) {
+            assert_eq!(inv.apply(m.apply(x)), x);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        // Two equal rows → rank deficient.
+        let m = Gf2Matrix::from_rows(vec![0b01, 0b01]);
+        assert!(!m.is_invertible());
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the matrix width")]
+    fn from_rows_rejects_wide_rows() {
+        Gf2Matrix::from_rows(vec![0b100, 0b010]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tag width")]
+    fn zero_width_rejected() {
+        Identity::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "field width")]
+    fn field_wider_than_tag_rejected() {
+        XorFold::new(8, 9);
+    }
+
+    #[test]
+    fn transform_outputs_fit_tag_width() {
+        for t in transforms() {
+            let m = mask(t.tag_bits());
+            for x in [u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+                assert_eq!(t.forward(x) & !m, 0, "{}", t.name());
+                assert_eq!(t.inverse(x) & !m, 0, "{}", t.name());
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_arbitrary(tag in any::<u64>(), k in 1u32..9, extra in 0u32..49) {
+            let t_bits = k + extra.max(1); // ensure t >= k
+            for tr in [
+                Box::new(XorFold::new(t_bits, k)) as Box<dyn TagTransform>,
+                Box::new(Improved::new(t_bits, k)),
+                Box::new(Identity::new(t_bits)),
+            ] {
+                let masked = tag & mask(t_bits);
+                prop_assert_eq!(tr.inverse(tr.forward(tag)), masked);
+            }
+        }
+
+        #[test]
+        fn equality_preserved(a in any::<u64>(), b in any::<u64>()) {
+            let tr = Improved::new(20, 4);
+            let (ma, mb) = (a & mask(20), b & mask(20));
+            prop_assert_eq!(tr.forward(a) == tr.forward(b), ma == mb);
+        }
+
+        /// Random unit-lower-triangular matrices (footnote 8's
+        /// construction) are always invertible, and applying the matrix
+        /// then its inverse is the identity.
+        #[test]
+        fn random_unit_lower_triangular_invertible(
+            below in proptest::collection::vec(any::<u64>(), 12),
+            probes in proptest::collection::vec(any::<u64>(), 8),
+        ) {
+            let bits = below.len() as u32;
+            let rows: Vec<u64> = below
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| (r & mask(i as u32)) | (1u64 << i))
+                .collect();
+            let m = Gf2Matrix::from_rows(rows);
+            prop_assert!(m.is_unit_lower_triangular());
+            let inv = m.inverse().expect("unit lower triangular is invertible");
+            for p in probes {
+                let x = p & mask(bits);
+                prop_assert_eq!(inv.apply(m.apply(x)), x);
+                prop_assert_eq!(m.apply(inv.apply(x)), x);
+            }
+        }
+
+        /// Matrix application is linear: M(x ^ y) == M(x) ^ M(y).
+        #[test]
+        fn matrix_application_is_linear(x in any::<u64>(), y in any::<u64>()) {
+            let m = Gf2Matrix::of_transform(&Improved::new(16, 4));
+            let (x, y) = (x & mask(16), y & mask(16));
+            prop_assert_eq!(m.apply(x ^ y), m.apply(x) ^ m.apply(y));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The paper's §4 conclusions as a design advisor.
+//!
+//! §4 does not crown a single winner: "The optimum scheme depends on all
+//! the factors above, in particular: the cache size ratio, block size
+//! ratio, and the tag width." This module turns that paragraph into code —
+//! given a configuration and workload it measures all schemes, picks the
+//! cheapest low-cost implementation, and explains the choice in the
+//! paper's own terms.
+//!
+//! # Example
+//!
+//! ```
+//! use seta_cache::CacheConfig;
+//! use seta_sim::advisor::recommend;
+//! use seta_trace::gen::AtumLikeConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut trace = AtumLikeConfig::paper_like();
+//! trace.segments = 2;
+//! trace.refs_per_segment = 20_000;
+//! let rec = recommend(
+//!     CacheConfig::direct_mapped(4 * 1024, 16)?,
+//!     CacheConfig::new(32 * 1024, 32, 4)?,
+//!     trace,
+//!     42,
+//!     16,
+//! );
+//! println!("{}", rec.render());
+//! assert!(!rec.reasons.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::runner::{simulate, standard_strategies};
+use seta_cache::CacheConfig;
+use seta_trace::gen::{AtumLike, AtumLikeConfig};
+use serde::{Deserialize, Serialize};
+
+/// A low-cost implementation choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Serial frame-order scan.
+    Naive,
+    /// MRU-ordered serial scan.
+    Mru,
+    /// Two-step partial compare.
+    Partial,
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Scheme::Naive => "naive",
+            Scheme::Mru => "MRU",
+            Scheme::Partial => "partial compare",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A measured recommendation with the paper's reasoning attached.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// The cheapest low-cost scheme on this configuration and workload.
+    pub scheme: Scheme,
+    /// Measured probes per L2 access: (scheme label, total).
+    pub measured: Vec<(String, f64)>,
+    /// The configuration factors §4 names, evaluated here.
+    pub reasons: Vec<String>,
+    /// The traditional implementation's total, for reference (always the
+    /// probe minimum; its cost is board area, not probes).
+    pub traditional_total: f64,
+}
+
+impl Recommendation {
+    /// Renders the recommendation as human-readable lines.
+    pub fn render(&self) -> String {
+        let mut out = format!("recommended low-cost scheme: {}\n", self.scheme);
+        for (name, total) in &self.measured {
+            out.push_str(&format!("  {name:<28} {total:.2} probes/access\n"));
+        }
+        out.push_str(&format!(
+            "  {:<28} {:.2} probes/access (a×t-wide memory, a comparators)\n",
+            "traditional", self.traditional_total
+        ));
+        for r in &self.reasons {
+            out.push_str(&format!("  - {r}\n"));
+        }
+        out
+    }
+}
+
+/// Measures all schemes on the given configuration and workload and
+/// recommends the cheapest low-cost implementation, with §4's factors as
+/// the explanation.
+///
+/// # Panics
+///
+/// Panics if the configurations do not form a valid hierarchy or the
+/// trace configuration is invalid.
+pub fn recommend(
+    l1: CacheConfig,
+    l2: CacheConfig,
+    trace: AtumLikeConfig,
+    seed: u64,
+    tag_bits: u32,
+) -> Recommendation {
+    let out = simulate(
+        l1,
+        l2,
+        AtumLike::new(trace, seed),
+        &standard_strategies(l2.associativity(), tag_bits),
+    );
+    // standard_strategies order: traditional, naive, mru, partial.
+    let totals: Vec<f64> = out
+        .strategies
+        .iter()
+        .map(|s| s.probes.total_mean())
+        .collect();
+    let candidates = [
+        (Scheme::Naive, totals[1]),
+        (Scheme::Mru, totals[2]),
+        (Scheme::Partial, totals[3]),
+    ];
+    let (scheme, _) = candidates
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("three candidates");
+
+    // §4's named factors, evaluated for this configuration.
+    let mut reasons = Vec::new();
+    let block_ratio = l2.block_size() / l1.block_size();
+    let size_ratio = l2.size_bytes() / l1.size_bytes();
+    let local_miss = out.hierarchy.local_miss_ratio();
+    if block_ratio >= 4 && size_ratio >= 64 {
+        reasons.push(format!(
+            "block-size ratio {block_ratio} and cache-size ratio {size_ratio} are large — \
+             \"the MRU scheme is better when the ratio of level two to level one block sizes \
+             is large (4 or more) and when the ratio of ... cache sizes is large (64 or more)\""
+        ));
+    } else {
+        reasons.push(format!(
+            "block-size ratio {block_ratio} / cache-size ratio {size_ratio} do not reach the \
+             paper's MRU-favouring thresholds (4 and 64)"
+        ));
+    }
+    if tag_bits >= 32 {
+        reasons.push(format!(
+            "{tag_bits}-bit tags give wide partial compares — \"the partial compare scheme is \
+             better when the tag width is increased\""
+        ));
+    }
+    reasons.push(format!(
+        "measured L2 local miss ratio {local_miss:.3} — \"[partial] is better when the local \
+         miss ratio of the level two cache is increased\" (misses cost the MRU scheme a+1 probes)"
+    ));
+
+    Recommendation {
+        scheme,
+        measured: out
+            .strategies
+            .iter()
+            .skip(1)
+            .map(|s| (s.name.clone(), s.probes.total_mean()))
+            .collect(),
+        reasons,
+        traditional_total: totals[0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_trace() -> AtumLikeConfig {
+        let mut t = AtumLikeConfig::paper_like();
+        t.segments = 2;
+        t.refs_per_segment = 30_000;
+        t
+    }
+
+    fn rec(assoc: u32) -> Recommendation {
+        recommend(
+            CacheConfig::direct_mapped(4 * 1024, 16).expect("valid L1"),
+            CacheConfig::new(16 * 1024, 32, assoc).expect("valid L2"),
+            small_trace(),
+            0xCACE,
+            16,
+        )
+    }
+
+    #[test]
+    fn recommends_the_measured_minimum() {
+        let r = rec(8);
+        let best = r
+            .measured
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("three schemes")
+            .0
+            .clone();
+        let matches = match r.scheme {
+            Scheme::Naive => best == "naive",
+            Scheme::Mru => best == "mru",
+            Scheme::Partial => best.starts_with("partial"),
+        };
+        assert!(matches, "scheme {:?} vs measured best {best}", r.scheme);
+    }
+
+    #[test]
+    fn traditional_is_the_probe_floor() {
+        let r = rec(8);
+        for (name, total) in &r.measured {
+            assert!(
+                r.traditional_total <= *total + 1e-9,
+                "{name} ({total}) beats traditional ({})",
+                r.traditional_total
+            );
+        }
+    }
+
+    #[test]
+    fn reasons_quote_section_four_factors() {
+        let r = rec(4);
+        assert!(r.reasons.len() >= 2);
+        let text = r.reasons.join(" ");
+        assert!(text.contains("block-size ratio"), "{text}");
+        assert!(text.contains("local miss ratio"), "{text}");
+    }
+
+    #[test]
+    fn wide_tags_add_the_tag_width_reason() {
+        let r = recommend(
+            CacheConfig::direct_mapped(4 * 1024, 16).expect("valid L1"),
+            CacheConfig::new(16 * 1024, 32, 4).expect("valid L2"),
+            small_trace(),
+            1,
+            32,
+        );
+        assert!(r.reasons.iter().any(|s| s.contains("32-bit tags")), "{:?}", r.reasons);
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let s = rec(4).render();
+        assert!(s.contains("recommended"), "{s}");
+        assert!(s.contains("traditional"), "{s}");
+        assert!(s.contains("probes/access"), "{s}");
+    }
+}

@@ -1,0 +1,170 @@
+//! The paper's simulated configurations (Table 3).
+
+use seta_cache::{CacheConfig, CacheConfigError};
+use seta_trace::gen::AtumLikeConfig;
+use serde::{Deserialize, Serialize};
+
+/// A level-one/level-two geometry pair from the paper's Table 4 grid.
+///
+/// The level-two associativity is left open — each experiment sweeps it —
+/// so the preset stores the L2 capacity and block size only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyPreset {
+    /// L1 capacity in bytes.
+    pub l1_size: u64,
+    /// L1 block size in bytes.
+    pub l1_block: u64,
+    /// L2 capacity in bytes.
+    pub l2_size: u64,
+    /// L2 block size in bytes.
+    pub l2_block: u64,
+}
+
+impl HierarchyPreset {
+    /// Creates a preset.
+    pub fn new(l1_size: u64, l1_block: u64, l2_size: u64, l2_block: u64) -> Self {
+        HierarchyPreset {
+            l1_size,
+            l1_block,
+            l2_size,
+            l2_block,
+        }
+    }
+
+    /// The direct-mapped L1 configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid geometry.
+    pub fn l1(&self) -> Result<CacheConfig, CacheConfigError> {
+        CacheConfig::direct_mapped(self.l1_size, self.l1_block)
+    }
+
+    /// The L2 configuration at a given associativity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid geometry.
+    pub fn l2(&self, assoc: u32) -> Result<CacheConfig, CacheConfigError> {
+        CacheConfig::new(self.l2_size, self.l2_block, assoc)
+    }
+
+    /// The paper's label, e.g. `4K-16 256K-64`.
+    pub fn label(&self) -> String {
+        fn side(size: u64, block: u64) -> String {
+            format!("{}K-{}", size / 1024, block)
+        }
+        format!(
+            "{} {}",
+            side(self.l1_size, self.l1_block),
+            side(self.l2_size, self.l2_block)
+        )
+    }
+}
+
+impl std::fmt::Display for HierarchyPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The configuration Figures 3–6 use: 16K-16 L1 with a 256K-32 L2.
+pub fn figures_preset() -> HierarchyPreset {
+    HierarchyPreset::new(16 * 1024, 16, 256 * 1024, 32)
+}
+
+/// The eight L1/L2 pairs of Table 4, in the paper's row order.
+pub fn table4_presets() -> Vec<HierarchyPreset> {
+    const K: u64 = 1024;
+    vec![
+        HierarchyPreset::new(16 * K, 16, 256 * K, 32),
+        HierarchyPreset::new(16 * K, 16, 256 * K, 16),
+        HierarchyPreset::new(16 * K, 32, 256 * K, 32),
+        HierarchyPreset::new(4 * K, 16, 256 * K, 64),
+        HierarchyPreset::new(4 * K, 16, 256 * K, 32),
+        HierarchyPreset::new(4 * K, 16, 256 * K, 16),
+        HierarchyPreset::new(4 * K, 16, 64 * K, 32),
+        HierarchyPreset::new(4 * K, 16, 64 * K, 16),
+    ]
+}
+
+/// The three L1 configurations of Table 3 with the paper's measured miss
+/// ratios, used to calibrate the synthetic workload.
+pub fn table3_l1_miss_ratios() -> Vec<(HierarchyPreset, f64)> {
+    const K: u64 = 1024;
+    vec![
+        (HierarchyPreset::new(4 * K, 16, 256 * K, 32), 0.1181),
+        (HierarchyPreset::new(16 * K, 16, 256 * K, 32), 0.0657),
+        (HierarchyPreset::new(16 * K, 32, 256 * K, 32), 0.0513),
+    ]
+}
+
+/// The associativities the paper sweeps in Figures 3 and 4.
+pub const FIGURE_ASSOCS: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// The associativities of the Table 4 grid.
+pub const TABLE4_ASSOCS: [u32; 3] = [4, 8, 16];
+
+/// The full-scale paper trace (23 segments × 350K references).
+pub fn paper_trace() -> AtumLikeConfig {
+    AtumLikeConfig::paper_like()
+}
+
+/// The paper trace shrunk by `factor` for fast runs (structure preserved:
+/// multiple segments, flushes between them).
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn paper_trace_scaled(factor: u64) -> AtumLikeConfig {
+    AtumLikeConfig::scaled(factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build_valid_configs() {
+        for p in table4_presets() {
+            p.l1().unwrap();
+            for a in TABLE4_ASSOCS {
+                let l2 = p.l2(a).unwrap();
+                assert_eq!(l2.associativity(), a);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(table4_presets()[0].label(), "16K-16 256K-32");
+        assert_eq!(table4_presets()[3].label(), "4K-16 256K-64");
+        assert_eq!(figures_preset().label(), "16K-16 256K-32");
+    }
+
+    #[test]
+    fn table4_has_eight_rows() {
+        assert_eq!(table4_presets().len(), 8);
+        // Block-size ratio spans 1× to 4× as the paper discusses.
+        let ratios: Vec<u64> = table4_presets()
+            .iter()
+            .map(|p| p.l2_block / p.l1_block)
+            .collect();
+        assert!(ratios.contains(&1));
+        assert!(ratios.contains(&4));
+    }
+
+    #[test]
+    fn miss_ratio_targets_are_the_published_ones() {
+        let t = table3_l1_miss_ratios();
+        assert_eq!(t.len(), 3);
+        assert!((t[0].1 - 0.1181).abs() < 1e-9);
+        assert!((t[1].1 - 0.0657).abs() < 1e-9);
+        assert!((t[2].1 - 0.0513).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_trace_is_smaller() {
+        assert!(paper_trace_scaled(50).total_refs() < paper_trace().total_refs());
+    }
+}

@@ -1,0 +1,224 @@
+//! Extension study: bus contention and the value of associativity.
+//!
+//! The introduction's argument for wide associativity in multiprocessors:
+//! "delays due to contention among processors can become large and are
+//! sensitive to cache miss ratio. As the cost of a miss increases, the
+//! reduced miss ratio of wider associativity will result in better
+//! performance when compared to direct-mapped caches."
+//!
+//! This study quantifies the claim by combining three measured/modelled
+//! quantities per L2 organization: the local miss ratio from simulation,
+//! the lookup time from the Table 2 trial designs, and the shared-bus
+//! queueing model ([`BusModel`]). The direct-mapped L2 starts fastest but
+//! its higher miss ratio loads the bus; the serial associative schemes
+//! pay more per lookup yet sustain more processors.
+
+use crate::experiments::ExperimentParams;
+use crate::report::{f2, TextTable};
+use crate::runner::{simulate, standard_strategies};
+use seta_core::contention::BusModel;
+use seta_core::timing::{paper_dram_designs, LookupImpl};
+use seta_trace::gen::AtumLike;
+use serde::{Deserialize, Serialize};
+
+/// One L2 organization's contention profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionRow {
+    /// Organization label.
+    pub organization: String,
+    /// L2 lookup time per access, ns (Table 2 DRAM designs at measured
+    /// probes).
+    pub lookup_ns: f64,
+    /// L2 local miss ratio (bus transactions per L2 access).
+    pub miss_ratio: f64,
+    /// Effective ns per L2 access at each processor count.
+    pub effective_ns: Vec<f64>,
+    /// Largest processor count with contention slowdown ≤ 1.5.
+    pub max_processors: u32,
+}
+
+/// The computed study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionStudy {
+    /// Bus service time per miss, ns.
+    pub bus_service_ns: f64,
+    /// The processor counts swept.
+    pub processors: Vec<u32>,
+    /// One row per organization.
+    pub rows: Vec<ContentionRow>,
+}
+
+/// Runs the study with the paper-era default bus (400 ns per miss).
+pub fn run(params: &ExperimentParams) -> ContentionStudy {
+    run_with(params, 400.0, &[1, 2, 4, 8, 16, 32])
+}
+
+/// Runs the study with an explicit bus service time and processor sweep.
+pub fn run_with(
+    params: &ExperimentParams,
+    bus_service_ns: f64,
+    processors: &[u32],
+) -> ContentionStudy {
+    let preset = params.preset;
+    let bus = BusModel::new(bus_service_ns);
+    let designs = paper_dram_designs();
+    let design = |im: LookupImpl| {
+        designs
+            .iter()
+            .find(|d| d.implementation == im)
+            .expect("table 2 covers all implementations")
+    };
+
+    // Direct-mapped L2 and 4-way L2 share the L1, so both request streams
+    // are identical; only the L2 outcomes differ.
+    let direct = simulate(
+        preset.l1().expect("preset geometry is valid"),
+        preset.l2(1).expect("preset geometry is valid"),
+        AtumLike::new(params.trace.clone(), params.seed),
+        &standard_strategies(1, params.tag_bits),
+    );
+    let four_way = simulate(
+        preset.l1().expect("preset geometry is valid"),
+        preset.l2(4).expect("preset geometry is valid"),
+        AtumLike::new(params.trace.clone(), params.seed),
+        &standard_strategies(4, params.tag_bits),
+    );
+
+    let mru_v = (four_way.strategies[2].probes.read_in_mean() - 1.0).max(0.0);
+    let partial_v = (four_way.strategies[3].probes.read_in_mean() - 1.0).max(0.0);
+    let candidates = [
+        (
+            "direct-mapped".to_string(),
+            design(LookupImpl::DirectMapped).access_ns(0.0),
+            direct.hierarchy.local_miss_ratio(),
+        ),
+        (
+            "4-way traditional".to_string(),
+            design(LookupImpl::Traditional).access_ns(0.0),
+            four_way.hierarchy.local_miss_ratio(),
+        ),
+        (
+            "4-way mru".to_string(),
+            design(LookupImpl::Mru).access_ns(mru_v),
+            four_way.hierarchy.local_miss_ratio(),
+        ),
+        (
+            "4-way partial".to_string(),
+            design(LookupImpl::Partial).access_ns(partial_v),
+            four_way.hierarchy.local_miss_ratio(),
+        ),
+    ];
+
+    let rows = candidates
+        .into_iter()
+        .map(|(organization, lookup_ns, miss_ratio)| ContentionRow {
+            organization,
+            lookup_ns,
+            miss_ratio,
+            effective_ns: processors
+                .iter()
+                .map(|&n| bus.effective_ref_ns(n, lookup_ns, miss_ratio))
+                .collect(),
+            max_processors: bus.max_processors(lookup_ns, miss_ratio, 1024, 1.5),
+        })
+        .collect();
+    ContentionStudy {
+        bus_service_ns,
+        processors: processors.to_vec(),
+        rows,
+    }
+}
+
+impl ContentionStudy {
+    /// The row for an organization.
+    pub fn row(&self, organization: &str) -> Option<&ContentionRow> {
+        self.rows.iter().find(|r| r.organization == organization)
+    }
+
+    /// Renders the study.
+    pub fn render(&self) -> String {
+        let mut headers = vec!["Organization".to_string(), "Lookup".into(), "Miss".into()];
+        headers.extend(self.processors.iter().map(|n| format!("n={n}")));
+        headers.push("max n".into());
+        let mut t = TextTable::new(headers);
+        for r in &self.rows {
+            let mut row = vec![
+                r.organization.clone(),
+                f2(r.lookup_ns),
+                format!("{:.4}", r.miss_ratio),
+            ];
+            row.extend(r.effective_ns.iter().map(|&v| f2(v)));
+            row.push(r.max_processors.to_string());
+            t.row(row);
+        }
+        format!(
+            "Bus contention ({} ns per miss; effective ns per L2 access; max n at 1.5x slowdown)\n{}",
+            self.bus_service_ns,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_params;
+
+    fn study() -> ContentionStudy {
+        run_with(&tiny_params(), 400.0, &[1, 8, 32])
+    }
+
+    #[test]
+    fn covers_all_organizations() {
+        let s = study();
+        assert_eq!(s.rows.len(), 4);
+        assert!(s.row("direct-mapped").is_some());
+        assert!(s.row("4-way partial").is_some());
+    }
+
+    #[test]
+    fn associativity_lowers_the_miss_ratio() {
+        let s = study();
+        let dm = s.row("direct-mapped").expect("row").miss_ratio;
+        let four = s.row("4-way mru").expect("row").miss_ratio;
+        assert!(four < dm, "4-way {four} vs direct {dm}");
+    }
+
+    #[test]
+    fn associative_schemes_sustain_more_processors() {
+        // The introduction's claim, end to end.
+        let s = study();
+        let dm = s.row("direct-mapped").expect("row").max_processors;
+        for org in ["4-way traditional", "4-way mru", "4-way partial"] {
+            let n = s.row(org).expect("row").max_processors;
+            assert!(n >= dm, "{org}: {n} vs direct-mapped {dm}");
+        }
+    }
+
+    #[test]
+    fn contention_grows_with_processors() {
+        let s = study();
+        for r in &s.rows {
+            for w in r.effective_ns.windows(2) {
+                assert!(w[1] > w[0], "{}: {:?}", r.organization, r.effective_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn direct_mapped_wins_uncontended_lookup() {
+        // At n = 1 the cheap single-probe lookup is the fastest raw
+        // lookup; contention is what flips the comparison.
+        let s = study();
+        let dm = s.row("direct-mapped").expect("row").lookup_ns;
+        let mru = s.row("4-way mru").expect("row").lookup_ns;
+        assert!(dm < mru);
+    }
+
+    #[test]
+    fn render_includes_processor_columns() {
+        let s = study().render();
+        assert!(s.contains("n=8"), "{s}");
+        assert!(s.contains("max n"), "{s}");
+    }
+}

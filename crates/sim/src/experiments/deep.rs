@@ -1,0 +1,182 @@
+//! Extension study: the schemes at the *third* level of a hierarchy.
+//!
+//! The paper's abstract targets "level two **(or higher)** caches"; its
+//! simulation stops at two levels only because the traces could not
+//! exercise multi-megabyte third levels ("we expect future level two (and
+//! higher) caches to be considerably larger"). This study adds the third
+//! level: a direct-mapped L1 and 4-way L2 filter the reference stream
+//! twice, and the lookup schemes are priced at a large L3 across
+//! associativities.
+//!
+//! The interesting question is how *twice-filtered* miss streams change
+//! the trade-off: each filtering strips temporal locality, which hurts the
+//! MRU scheme (lower `f₁`) and shifts the balance further toward the
+//! partial scheme — the trend behind the paper's closing bet on partial
+//! compares for future large caches.
+
+use crate::experiments::{ExperimentParams, STANDARD_LABELS};
+use crate::report::{f2, f4, TextTable};
+use crate::runner::{simulate_last_level, standard_strategies, DeepOutcome};
+use seta_cache::CacheConfig;
+use seta_trace::gen::AtumLike;
+use serde::{Deserialize, Serialize};
+
+/// Results at one L3 associativity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeepRow {
+    /// L3 associativity.
+    pub assoc: u32,
+    /// L3 local miss ratio.
+    pub l3_local_miss_ratio: f64,
+    /// Mean probes per L3 access for the standard strategies
+    /// (traditional, naive, mru, partial), write-back optimization on.
+    pub totals: Vec<f64>,
+    /// `f₁` at the L3 (probability an L3 hit is to the MRU entry).
+    pub f1: f64,
+}
+
+/// The computed study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeepStudy {
+    /// Labels of the three levels.
+    pub levels: Vec<String>,
+    /// One row per L3 associativity.
+    pub rows: Vec<DeepRow>,
+    /// `f₁` measured at the L2 of the same workload (for the
+    /// locality-stripping comparison), at 4-way.
+    pub l2_f1: f64,
+}
+
+/// Runs the study: 4K-16 L1, 64K-32 4-way L2, 512K-64 L3 at 4/8/16-way.
+pub fn run(params: &ExperimentParams) -> DeepStudy {
+    let l1 = CacheConfig::direct_mapped(4 * 1024, 16).expect("valid L1");
+    let l2 = CacheConfig::new(64 * 1024, 32, 4).expect("valid L2");
+    let l3_base = |assoc| CacheConfig::new(512 * 1024, 64, assoc).expect("valid L3");
+    run_with(params, l1, l2, &[4, 8, 16], l3_base)
+}
+
+/// Runs the study with explicit geometry.
+pub fn run_with(
+    params: &ExperimentParams,
+    l1: CacheConfig,
+    l2: CacheConfig,
+    assocs: &[u32],
+    l3: impl Fn(u32) -> CacheConfig,
+) -> DeepStudy {
+    let mut rows = Vec::new();
+    let mut levels = Vec::new();
+    for &assoc in assocs {
+        let l3cfg = l3(assoc);
+        if levels.is_empty() {
+            levels = vec![l1.label(), l2.label(), l3cfg.label()];
+        }
+        let out: DeepOutcome = simulate_last_level(
+            vec![l1, l2, l3cfg],
+            AtumLike::new(params.trace.clone(), params.seed),
+            &standard_strategies(assoc, params.tag_bits),
+        );
+        rows.push(DeepRow {
+            assoc,
+            l3_local_miss_ratio: out.traffic[2].local_miss_ratio(),
+            totals: out
+                .strategies
+                .iter()
+                .map(|s| s.probes.total_mean())
+                .collect(),
+            f1: out.mru_hist.f(0),
+        });
+    }
+
+    // The locality-stripping reference point: f₁ at the L2 of a two-level
+    // run with the same front end.
+    let two_level = crate::runner::simulate(
+        l1,
+        l2,
+        AtumLike::new(params.trace.clone(), params.seed),
+        &standard_strategies(l2.associativity(), params.tag_bits),
+    );
+    DeepStudy {
+        levels,
+        rows,
+        l2_f1: two_level.mru_hist.f(0),
+    }
+}
+
+impl DeepStudy {
+    /// The row for an L3 associativity.
+    pub fn row(&self, assoc: u32) -> Option<&DeepRow> {
+        self.rows.iter().find(|r| r.assoc == assoc)
+    }
+
+    /// Renders the study.
+    pub fn render(&self) -> String {
+        let mut headers = vec!["L3 assoc".to_string(), "Local miss".into(), "f1".into()];
+        headers.extend(STANDARD_LABELS.iter().map(|l| l.to_string()));
+        let mut t = TextTable::new(headers);
+        for r in &self.rows {
+            let mut row = vec![
+                r.assoc.to_string(),
+                f4(r.l3_local_miss_ratio),
+                f4(r.f1),
+            ];
+            row.extend(r.totals.iter().map(|&v| f2(v)));
+            t.row(row);
+        }
+        format!(
+            "Three-level hierarchy ({}) — probes per L3 access (L2 f1 = {:.4})\n{}",
+            self.levels.join(" / "),
+            self.l2_f1,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_params;
+
+    fn study() -> DeepStudy {
+        let l1 = CacheConfig::direct_mapped(2 * 1024, 16).unwrap();
+        let l2 = CacheConfig::new(8 * 1024, 32, 4).unwrap();
+        run_with(&tiny_params(), l1, l2, &[4, 8], |a| {
+            CacheConfig::new(32 * 1024, 64, a).unwrap()
+        })
+    }
+
+    #[test]
+    fn covers_the_sweep() {
+        let s = study();
+        assert_eq!(s.rows.len(), 2);
+        assert_eq!(s.levels.len(), 3);
+        assert!(s.row(4).is_some());
+        assert!(s.row(8).is_some());
+    }
+
+    #[test]
+    fn partial_beats_naive_at_the_l3() {
+        let s = study();
+        for r in &s.rows {
+            let naive = r.totals[1];
+            let partial = r.totals[3];
+            assert!(partial < naive, "a={}: {partial} vs {naive}", r.assoc);
+        }
+    }
+
+    #[test]
+    fn miss_ratios_and_f1_are_probabilities() {
+        let s = study();
+        assert!(s.l2_f1 > 0.0 && s.l2_f1 <= 1.0);
+        for r in &s.rows {
+            assert!(r.l3_local_miss_ratio > 0.0 && r.l3_local_miss_ratio < 1.0, "{r:?}");
+            assert!(r.f1 >= 0.0 && r.f1 <= 1.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn render_names_all_levels() {
+        let s = study().render();
+        assert!(s.contains("Three-level"), "{s}");
+        assert!(s.contains("L3 assoc"), "{s}");
+    }
+}

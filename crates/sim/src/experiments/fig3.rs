@@ -1,0 +1,189 @@
+//! Figure 3: average probes per L2 access (read-ins and write-backs)
+//! versus associativity, with and without the write-back optimization.
+
+use crate::experiments::{sweep_standard, ExperimentParams, STANDARD_LABELS};
+use crate::report::{f2, TextTable};
+use serde::{Deserialize, Serialize};
+
+/// One strategy's curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Series {
+    /// Display label ("Traditional", "Naive", "MRU", "Partial").
+    pub label: String,
+    /// Mean probes per L2 access with the write-back optimization
+    /// (write-backs cost zero probes), one point per associativity.
+    pub with_opt: Vec<f64>,
+    /// Mean probes without the optimization (write-backs are full
+    /// lookups).
+    pub without_opt: Vec<f64>,
+}
+
+/// The computed figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3 {
+    /// The associativities swept (the x-axis).
+    pub assocs: Vec<u32>,
+    /// One series per strategy.
+    pub series: Vec<Fig3Series>,
+    /// Fraction of L2 requests that were write-backs (~0.21 in the paper).
+    pub write_back_fraction: f64,
+}
+
+/// Runs the figure: 16K-16 L1, 256K-32 L2, associativities 1–16.
+pub fn run(params: &ExperimentParams) -> Fig3 {
+    run_with_assocs(params, &crate::config::FIGURE_ASSOCS)
+}
+
+/// Runs the figure over explicit associativities (for scaled-down tests).
+pub fn run_with_assocs(params: &ExperimentParams, assocs: &[u32]) -> Fig3 {
+    let outcomes = sweep_standard(params, assocs);
+    let series = STANDARD_LABELS
+        .iter()
+        .enumerate()
+        .map(|(i, label)| Fig3Series {
+            label: (*label).into(),
+            with_opt: outcomes
+                .iter()
+                .map(|o| o.strategies[i].probes.total_mean())
+                .collect(),
+            without_opt: outcomes
+                .iter()
+                .map(|o| o.strategies[i].probes_no_opt.total_mean())
+                .collect(),
+        })
+        .collect();
+    Fig3 {
+        assocs: assocs.to_vec(),
+        series,
+        write_back_fraction: outcomes
+            .last()
+            .map(|o| o.hierarchy.write_back_fraction())
+            .unwrap_or(0.0),
+    }
+}
+
+impl Fig3 {
+    /// The series with a given label.
+    pub fn series(&self, label: &str) -> Option<&Fig3Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    fn table(&self) -> TextTable {
+        let mut headers = vec!["Method".to_string()];
+        for a in &self.assocs {
+            headers.push(format!("a={a} +opt"));
+            headers.push(format!("a={a} -opt"));
+        }
+        let mut t = TextTable::new(headers);
+        for s in &self.series {
+            let mut row = vec![s.label.clone()];
+            for i in 0..self.assocs.len() {
+                row.push(f2(s.with_opt[i]));
+                row.push(f2(s.without_opt[i]));
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// Renders both panels as a table: probes per access at each
+    /// associativity, with (`+opt`) and without (`-opt`) the write-back
+    /// optimization.
+    pub fn render(&self) -> String {
+        format!(
+            "Figure 3: probes per L2 access vs associativity (write-back fraction {:.3})\n{}",
+            self.write_back_fraction,
+            self.table().render()
+        )
+    }
+
+    /// The same data as CSV, for re-plotting.
+    pub fn csv(&self) -> String {
+        self.table().render_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_params;
+
+    fn fig() -> Fig3 {
+        run_with_assocs(&tiny_params(), &[1, 4, 8])
+    }
+
+    #[test]
+    fn traditional_is_flat_at_one() {
+        let f = fig();
+        let t = f.series("Traditional").unwrap();
+        for (&w, &wo) in t.with_opt.iter().zip(&t.without_opt) {
+            assert!(w <= 1.0 + 1e-9, "with opt {w}");
+            assert!((wo - 1.0).abs() < 1e-9, "without opt {wo}");
+        }
+    }
+
+    #[test]
+    fn serial_schemes_grow_with_associativity() {
+        let f = fig();
+        for label in ["Naive", "MRU"] {
+            let s = f.series(label).unwrap();
+            assert!(
+                s.with_opt.windows(2).all(|w| w[1] > w[0]),
+                "{label} not increasing: {:?}",
+                s.with_opt
+            );
+        }
+    }
+
+    #[test]
+    fn all_curves_meet_at_associativity_one() {
+        let f = fig();
+        for s in &f.series {
+            assert!(
+                (s.without_opt[0] - 1.0).abs() < 1e-9,
+                "{} at a=1: {}",
+                s.label,
+                s.without_opt[0]
+            );
+        }
+    }
+
+    #[test]
+    fn optimization_never_hurts() {
+        let f = fig();
+        for s in &f.series {
+            for (&w, &wo) in s.with_opt.iter().zip(&s.without_opt) {
+                assert!(w <= wo + 1e-9, "{}: {w} > {wo}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn naive_is_worst_low_cost_scheme_at_wide_associativity() {
+        let f = fig();
+        let last = f.assocs.len() - 1;
+        let naive = f.series("Naive").unwrap().with_opt[last];
+        let mru = f.series("MRU").unwrap().with_opt[last];
+        let partial = f.series("Partial").unwrap().with_opt[last];
+        assert!(naive > mru, "naive {naive} vs mru {mru}");
+        assert!(naive > partial, "naive {naive} vs partial {partial}");
+    }
+
+    #[test]
+    fn write_backs_are_a_significant_fraction() {
+        let f = fig();
+        assert!(
+            f.write_back_fraction > 0.05 && f.write_back_fraction < 0.5,
+            "write-back fraction {}",
+            f.write_back_fraction
+        );
+    }
+
+    #[test]
+    fn render_mentions_every_method() {
+        let s = fig().render();
+        for label in STANDARD_LABELS {
+            assert!(s.contains(label), "{s}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Figure 4: probes for read-in hits and misses, separately.
+
+use crate::experiments::{sweep_standard, ExperimentParams, STANDARD_LABELS};
+use crate::report::{f2, TextTable};
+use serde::{Deserialize, Serialize};
+
+/// One strategy's hit and miss curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Series {
+    /// Display label.
+    pub label: String,
+    /// Mean probes per read-in hit, one point per associativity.
+    pub hits: Vec<f64>,
+    /// Mean probes per read-in miss.
+    pub misses: Vec<f64>,
+}
+
+/// The computed figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// The associativities swept.
+    pub assocs: Vec<u32>,
+    /// One series per strategy (the paper plots Naive, Partial, MRU; the
+    /// traditional baseline is included for reference).
+    pub series: Vec<Fig4Series>,
+}
+
+/// Runs the figure at the paper's associativities.
+pub fn run(params: &ExperimentParams) -> Fig4 {
+    run_with_assocs(params, &crate::config::FIGURE_ASSOCS)
+}
+
+/// Runs the figure over explicit associativities.
+pub fn run_with_assocs(params: &ExperimentParams, assocs: &[u32]) -> Fig4 {
+    let outcomes = sweep_standard(params, assocs);
+    let series = STANDARD_LABELS
+        .iter()
+        .enumerate()
+        .map(|(i, label)| Fig4Series {
+            label: (*label).into(),
+            hits: outcomes
+                .iter()
+                .map(|o| o.strategies[i].probes.hit_mean())
+                .collect(),
+            misses: outcomes
+                .iter()
+                .map(|o| o.strategies[i].probes.miss_mean())
+                .collect(),
+        })
+        .collect();
+    Fig4 {
+        assocs: assocs.to_vec(),
+        series,
+    }
+}
+
+impl Fig4 {
+    /// The series with a given label.
+    pub fn series(&self, label: &str) -> Option<&Fig4Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    fn table(&self) -> TextTable {
+        let mut headers = vec!["Method".to_string()];
+        for a in &self.assocs {
+            headers.push(format!("a={a} hit"));
+            headers.push(format!("a={a} miss"));
+        }
+        let mut t = TextTable::new(headers);
+        for s in &self.series {
+            let mut row = vec![s.label.clone()];
+            for i in 0..self.assocs.len() {
+                row.push(f2(s.hits[i]));
+                row.push(f2(s.misses[i]));
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// Renders both panels as a table.
+    pub fn render(&self) -> String {
+        format!(
+            "Figure 4: probes for read-in hits and misses\n{}",
+            self.table().render()
+        )
+    }
+
+    /// The same data as CSV, for re-plotting.
+    pub fn csv(&self) -> String {
+        self.table().render_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_params;
+
+    fn fig() -> Fig4 {
+        run_with_assocs(&tiny_params(), &[4, 8])
+    }
+
+    #[test]
+    fn naive_and_mru_misses_are_deterministic() {
+        let f = fig();
+        for (idx, &a) in f.assocs.iter().enumerate() {
+            assert_eq!(f.series("Naive").unwrap().misses[idx], a as f64);
+            assert_eq!(f.series("MRU").unwrap().misses[idx], a as f64 + 1.0);
+            assert_eq!(f.series("Traditional").unwrap().misses[idx], 1.0);
+        }
+    }
+
+    #[test]
+    fn partial_dominates_on_misses() {
+        // "The partial approach is the undeniable winner on misses."
+        let f = fig();
+        for (idx, _) in f.assocs.iter().enumerate() {
+            let partial = f.series("Partial").unwrap().misses[idx];
+            let naive = f.series("Naive").unwrap().misses[idx];
+            let mru = f.series("MRU").unwrap().misses[idx];
+            assert!(partial < naive, "partial {partial} vs naive {naive}");
+            assert!(partial < mru, "partial {partial} vs mru {mru}");
+        }
+    }
+
+    #[test]
+    fn mru_and_partial_beat_naive_on_hits_at_wide_associativity() {
+        let f = fig();
+        let idx = f.assocs.len() - 1; // a = 8
+        let naive = f.series("Naive").unwrap().hits[idx];
+        let mru = f.series("MRU").unwrap().hits[idx];
+        let partial = f.series("Partial").unwrap().hits[idx];
+        assert!(mru < naive, "mru {mru} vs naive {naive}");
+        assert!(partial < naive, "partial {partial} vs naive {naive}");
+    }
+
+    #[test]
+    fn hit_costs_are_at_least_one() {
+        let f = fig();
+        for s in &f.series {
+            for &h in &s.hits {
+                assert!(h >= 1.0, "{}: {h}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn render_has_hit_and_miss_columns() {
+        let s = fig().render();
+        assert!(s.contains("a=4 hit"), "{s}");
+        assert!(s.contains("a=8 miss"), "{s}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Table 1: analytical expected probes per implementation method.
+
+use crate::report::{f2, TextTable};
+use seta_core::model;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Method name, e.g. `"Partial w/Subsets (k=4)"`.
+    pub method: String,
+    /// Associativity `a`.
+    pub assoc: u32,
+    /// Number of subsets `s`.
+    pub subsets: u32,
+    /// Tag-memory width in bits.
+    pub tag_memory_width: u32,
+    /// Expected probes assuming a hit (`None` for MRU, which depends on
+    /// the workload's `fᵢ`; the range is reported in `hit_range`).
+    pub hit: Option<f64>,
+    /// For MRU: the attainable hit range `[best, worst]`.
+    pub hit_range: Option<(f64, f64)>,
+    /// Expected probes assuming a miss.
+    pub miss: f64,
+}
+
+/// The computed table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Tag width `t` the numeric examples assume.
+    pub tag_bits: u32,
+    /// The rows, in the paper's order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Computes Table 1 for `t`-bit tags (the paper uses `t = 16`).
+///
+/// # Panics
+///
+/// Panics if `t` is zero.
+pub fn run(t: u32) -> Table1 {
+    assert!(t > 0, "tag width must be positive");
+    let mut rows = Vec::new();
+
+    // Traditional at the paper's example a=4.
+    rows.push(Table1Row {
+        method: "Traditional".into(),
+        assoc: 4,
+        subsets: 1,
+        tag_memory_width: 4 * t,
+        hit: Some(model::traditional()),
+        hit_range: None,
+        miss: model::traditional(),
+    });
+
+    rows.push(Table1Row {
+        method: "Naive".into(),
+        assoc: 4,
+        subsets: 1,
+        tag_memory_width: t,
+        hit: Some(model::naive_hit(4)),
+        hit_range: None,
+        miss: model::naive_miss(4),
+    });
+
+    // MRU's hit cost spans [2, a+1] depending on fᵢ.
+    rows.push(Table1Row {
+        method: "MRU".into(),
+        assoc: 4,
+        subsets: 1,
+        tag_memory_width: t,
+        hit: None,
+        hit_range: Some((
+            model::mru_hit(&[1.0, 0.0, 0.0, 0.0]),
+            model::mru_hit(&[0.0, 0.0, 0.0, 1.0]),
+        )),
+        miss: model::mru_miss(4),
+    });
+
+    // Partial, a=4, s=1 → k = t/4 (4 bits at t=16).
+    let k = model::partial_k(t, 4, 1);
+    rows.push(Table1Row {
+        method: format!("Partial (k={k})"),
+        assoc: 4,
+        subsets: 1,
+        tag_memory_width: t.max(4 * k),
+        hit: Some(model::partial_hit(4, k, 1)),
+        hit_range: None,
+        miss: model::partial_miss(4, k, 1),
+    });
+
+    // Partial at a=8 without and with subsets (the paper's k=2 vs k=4 pair).
+    let k1 = model::partial_k(t, 8, 1);
+    rows.push(Table1Row {
+        method: format!("Partial (k={k1})"),
+        assoc: 8,
+        subsets: 1,
+        tag_memory_width: t.max(8 * k1),
+        hit: Some(model::partial_hit(8, k1, 1)),
+        hit_range: None,
+        miss: model::partial_miss(8, k1, 1),
+    });
+    let k2 = model::partial_k(t, 8, 2);
+    rows.push(Table1Row {
+        method: format!("Partial w/Subsets (k={k2})"),
+        assoc: 8,
+        subsets: 2,
+        tag_memory_width: t.max(4 * k2),
+        hit: Some(model::partial_hit(8, k2, 2)),
+        hit_range: None,
+        miss: model::partial_miss(8, k2, 2),
+    });
+
+    Table1 { tag_bits: t, rows }
+}
+
+impl Table1 {
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            ["Method", "Assoc", "Subsets", "TagMem(bits)", "Hit", "Miss"]
+                .map(String::from)
+                .to_vec(),
+        );
+        for r in &self.rows {
+            let hit = match (r.hit, r.hit_range) {
+                (Some(h), _) => f2(h),
+                (None, Some((lo, hi))) => format!("[{}, {}]", f2(lo), f2(hi)),
+                (None, None) => "-".into(),
+            };
+            t.row(vec![
+                r.method.clone(),
+                r.assoc.to_string(),
+                r.subsets.to_string(),
+                r.tag_memory_width.to_string(),
+                hit,
+                f2(r.miss),
+            ]);
+        }
+        format!("Table 1 (t = {} bit tags)\n{}", self.tag_bits, t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_papers_numeric_examples() {
+        let t = run(16);
+        let by_method = |m: &str| t.rows.iter().find(|r| r.method.starts_with(m)).unwrap();
+
+        assert_eq!(by_method("Traditional").hit, Some(1.0));
+        assert_eq!(by_method("Traditional").miss, 1.0);
+        assert_eq!(by_method("Naive").hit, Some(2.5));
+        assert_eq!(by_method("Naive").miss, 4.0);
+        assert_eq!(by_method("MRU").hit_range, Some((2.0, 5.0)));
+        assert_eq!(by_method("MRU").miss, 5.0);
+
+        let p4 = &t.rows[3];
+        assert!((p4.hit.unwrap() - 2.09375).abs() < 1e-9);
+        assert!((p4.miss - 1.25).abs() < 1e-9);
+
+        let p8s1 = &t.rows[4];
+        assert!((p8s1.hit.unwrap() - 2.875).abs() < 1e-9);
+        assert!((p8s1.miss - 3.0).abs() < 1e-9);
+
+        let p8s2 = &t.rows[5];
+        assert!((p8s2.hit.unwrap() - 2.71875).abs() < 1e-9);
+        assert!((p8s2.miss - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tag_memory_widths_match_paper() {
+        let t = run(16);
+        assert_eq!(t.rows[0].tag_memory_width, 64); // traditional a×t
+        assert_eq!(t.rows[1].tag_memory_width, 16); // naive t
+        assert_eq!(t.rows[3].tag_memory_width, 16); // max(t, a·k)
+    }
+
+    #[test]
+    fn render_contains_key_numbers() {
+        let s = run(16).render();
+        assert!(s.contains("2.50"), "{s}");
+        assert!(s.contains("2.09"), "{s}");
+        assert!(s.contains("2.72"), "{s}");
+        assert!(s.contains("[2.00, 5.00]"), "{s}");
+    }
+
+    #[test]
+    fn wider_tags_reduce_partial_costs() {
+        let t16 = run(16);
+        let t32 = run(32);
+        assert!(t32.rows[4].miss < t16.rows[4].miss);
+    }
+}

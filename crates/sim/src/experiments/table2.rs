@@ -1,0 +1,116 @@
+//! Table 2: trial implementations of the tag memory and comparison logic.
+
+use crate::report::TextTable;
+use seta_core::timing::{paper_dram_designs, paper_sram_designs, LookupImpl, TrialDesign};
+use serde::{Deserialize, Serialize};
+
+/// The computed table: the paper's eight trial designs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// The four dynamic-RAM designs.
+    pub dram: Vec<TrialDesign>,
+    /// The four static-RAM designs.
+    pub sram: Vec<TrialDesign>,
+}
+
+/// Builds Table 2 from the timing model.
+pub fn run() -> Table2 {
+    Table2 {
+        dram: paper_dram_designs(),
+        sram: paper_sram_designs(),
+    }
+}
+
+fn probe_var(d: &TrialDesign) -> &'static str {
+    match d.implementation {
+        LookupImpl::Mru => "x",
+        LookupImpl::Partial => "y",
+        _ => "",
+    }
+}
+
+fn render_half(title: &str, designs: &[TrialDesign]) -> String {
+    let mut t = TextTable::new(
+        [
+            "Implementation",
+            "Chip",
+            "Access(ns)",
+            "PageAcc(ns)",
+            "Cycle(ns)",
+            "ImplAccess(ns)",
+            "ImplCycle(ns)",
+            "Packages",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for d in designs {
+        let var = probe_var(d);
+        let cycle_var = if d.implementation == LookupImpl::Mru {
+            "x+u".to_string()
+        } else {
+            var.to_string()
+        };
+        t.row(vec![
+            d.implementation.to_string(),
+            d.memory.organization.clone(),
+            format!("{}", d.memory.basic_access_ns),
+            d.memory
+                .page_mode_access_ns
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "n/a".into()),
+            format!("{}", d.memory.basic_cycle_ns),
+            d.access.render(var),
+            d.cycle.render(&cycle_var),
+            d.packages.to_string(),
+        ]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+impl Table2 {
+    /// Renders both halves of the table.
+    pub fn render(&self) -> String {
+        format!(
+            "Table 2 (1M 24-bit tags)\n\n{}\n{}",
+            render_half("Using Dynamic RAMs", &self.dram),
+            render_half("Using Static RAMs", &self.sram)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_four_designs_per_technology() {
+        let t = run();
+        assert_eq!(t.dram.len(), 4);
+        assert_eq!(t.sram.len(), 4);
+    }
+
+    #[test]
+    fn render_contains_paper_values() {
+        let s = run().render();
+        for needle in [
+            "136", "150+50x", "250+50x+u", "150+50y", "42", "21", // DRAM half
+            "61", "65+55x", "84", "37", "24", // SRAM half
+            "1Mx8", "256Kx(16,8)",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn package_ordering_is_traditional_heaviest() {
+        let t = run();
+        for half in [&t.dram, &t.sram] {
+            let trad = half
+                .iter()
+                .find(|d| d.implementation == LookupImpl::Traditional)
+                .unwrap();
+            assert!(half.iter().all(|d| d.packages <= trad.packages));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Trace-driven experiment harness reproducing every table and figure of
+//! *Kessler, Jooss, Lebeck and Hill, "Inexpensive Implementations of
+//! Set-Associativity" (ISCA 1989)*.
+//!
+//! The harness glues the three substrates together: synthetic
+//! multiprogrammed traces (`seta-trace`) drive the two-level write-back
+//! hierarchy (`seta-cache`), and every level-two request is priced by each
+//! lookup strategy (`seta-core`) against the identical pre-access set
+//! state. One pass therefore scores all strategies at once, exactly like
+//! the paper's single trace-driven simulation.
+//!
+//! * [`runner`] — the simulation loop ([`runner::simulate`]).
+//! * [`config`] — the paper's level-one/level-two configuration presets
+//!   (Table 3).
+//! * [`experiments`] — one module per table/figure, each returning
+//!   structured, serializable results and rendering a paper-style text
+//!   table.
+//! * [`report`] — plain-text table and CSV formatting.
+//! * [`advisor`] — the paper's §4 decision procedure as a measured
+//!   recommendation.
+//!
+//! # Example
+//!
+//! Score the four schemes on a small multiprogrammed trace:
+//!
+//! ```
+//! use seta_sim::config::paper_trace_scaled;
+//! use seta_sim::runner::{simulate, standard_strategies};
+//! use seta_cache::CacheConfig;
+//! use seta_trace::gen::AtumLike;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let l1 = CacheConfig::direct_mapped(4 * 1024, 16)?;
+//! let l2 = CacheConfig::new(64 * 1024, 32, 4)?;
+//! let trace = AtumLike::new(paper_trace_scaled(100), 1);
+//! let out = simulate(l1, l2, trace, &standard_strategies(4, 16));
+//! assert!(out.hierarchy.read_ins > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use config::HierarchyPreset;
+pub use runner::{simulate, standard_strategies, RunOutcome, StrategyResult};

@@ -1,0 +1,231 @@
+//! Plain-text table rendering for paper-style output.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-justified (labels).
+    Left,
+    /// Right-justified (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+///
+/// # Example
+///
+/// ```
+/// use seta_sim::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Method".into(), "Probes".into()]);
+/// t.row(vec!["naive".into(), "2.50".into()]);
+/// let s = t.render();
+/// assert!(s.contains("naive"));
+/// assert!(s.starts_with("Method"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with the first column left-aligned and the rest
+    /// right-aligned (the common shape of the paper's tables).
+    pub fn render(&self) -> String {
+        let aligns: Vec<Align> = (0..self.headers.len())
+            .map(|i| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        self.render_aligned(&aligns)
+    }
+
+    /// Renders with explicit per-column alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aligns` length differs from the column count.
+    pub fn render_aligned(&self, aligns: &[Align]) -> String {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment width mismatch");
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, (cell, &w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                match aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, "{cell:<w$}");
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{cell:>w$}");
+                    }
+                }
+            }
+            // Trim trailing spaces from left-aligned final columns.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&self.headers, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+impl TextTable {
+    /// Renders the same data as RFC-4180-style CSV (for re-plotting the
+    /// figures): header row, then data rows; cells containing commas,
+    /// quotes or newlines are quoted.
+    pub fn render_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        for row in std::iter::once(&self.headers).chain(&self.rows) {
+            let line: Vec<String> = row.iter().map(|c| cell(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float the way the paper's tables do (two decimals).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio with four decimals (miss ratios in Table 4).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Method".into(), "Hits".into()]);
+        t.row(vec!["naive".into(), "2.5".into()]);
+        t.row(vec!["mru".into(), "10.25".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Numbers right-aligned: both end at the same column.
+        assert!(lines[2].ends_with("2.5"));
+        assert!(lines[3].ends_with("10.25"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn rule_spans_the_table() {
+        let mut t = TextTable::new(vec!["A".into(), "B".into()]);
+        t.row(vec!["xx".into(), "yy".into()]);
+        let s = t.render();
+        let rule = s.lines().nth(1).unwrap();
+        assert!(rule.chars().all(|c| c == '-'));
+        assert_eq!(rule.len(), s.lines().next().unwrap().len().max(2 + 2 + 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        TextTable::new(vec!["A".into()]).row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        TextTable::new(vec![]);
+    }
+
+    #[test]
+    fn csv_renders_header_and_rows() {
+        let mut t = TextTable::new(vec!["Method".into(), "Probes".into()]);
+        t.row(vec!["naive".into(), "2.50".into()]);
+        assert_eq!(t.render_csv(), "Method,Probes\nnaive,2.50\n");
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = TextTable::new(vec!["A".into()]);
+        t.row(vec!["x,y".into()]);
+        t.row(vec!["say \"hi\"".into()]);
+        let csv = t.render_csv();
+        assert!(csv.contains("\"x,y\""), "{csv}");
+        assert!(csv.contains("\"say \"\"hi\"\"\""), "{csv}");
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f2(2.094), "2.09");
+        assert_eq!(f4(0.1181), "0.1181");
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = TextTable::new(vec!["A".into()]);
+        assert!(t.is_empty());
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! Compact framed binary trace format.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic   b"SETA"            4 bytes
+//! version u8 (= 1)           1 byte
+//! records:
+//!   tag   u8                 1 byte   0=read 1=write 2=ifetch 0xFF=flush
+//!   addr  u64 little-endian  8 bytes  (omitted for flush records)
+//! ```
+//!
+//! The format is self-terminating at end-of-stream; a truncated record is a
+//! decode error.
+
+use crate::format::TraceFormatError;
+use crate::record::{AccessKind, TraceEvent, TraceRecord};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"SETA";
+const VERSION: u8 = 1;
+
+const TAG_READ: u8 = 0;
+const TAG_WRITE: u8 = 1;
+const TAG_IFETCH: u8 = 2;
+const TAG_FLUSH: u8 = 0xFF;
+
+fn kind_tag(kind: AccessKind) -> u8 {
+    match kind {
+        AccessKind::Read => TAG_READ,
+        AccessKind::Write => TAG_WRITE,
+        AccessKind::InstrFetch => TAG_IFETCH,
+    }
+}
+
+/// Streaming writer for the binary format.
+///
+/// The header is written lazily before the first record (or on
+/// [`finish`](BinaryWriter::finish) for an empty trace).
+///
+/// # Example
+///
+/// ```
+/// use seta_trace::format::{BinaryReader, BinaryWriter};
+/// use seta_trace::{TraceEvent, TraceRecord};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut buf = Vec::new();
+/// let mut w = BinaryWriter::new(&mut buf);
+/// w.write_event(&TraceEvent::Ref(TraceRecord::write(0xdead_beef)))?;
+/// w.finish()?;
+///
+/// let events: Vec<TraceEvent> =
+///     BinaryReader::new(buf.as_slice())?.collect::<Result<_, _>>()?;
+/// assert_eq!(events, vec![TraceEvent::Ref(TraceRecord::write(0xdead_beef))]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BinaryWriter<W: Write> {
+    inner: W,
+    header_written: bool,
+}
+
+impl<W: Write> BinaryWriter<W> {
+    /// Wraps a writer; pass `&mut w` to keep using the writer afterwards.
+    pub fn new(inner: W) -> Self {
+        BinaryWriter {
+            inner,
+            header_written: false,
+        }
+    }
+
+    fn ensure_header(&mut self) -> std::io::Result<()> {
+        if !self.header_written {
+            self.inner.write_all(MAGIC)?;
+            self.inner.write_all(&[VERSION])?;
+            self.header_written = true;
+        }
+        Ok(())
+    }
+
+    /// Writes one event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_event(&mut self, event: &TraceEvent) -> std::io::Result<()> {
+        self.ensure_header()?;
+        match event {
+            TraceEvent::Ref(r) => {
+                self.inner.write_all(&[kind_tag(r.kind)])?;
+                self.inner.write_all(&r.addr.to_le_bytes())
+            }
+            TraceEvent::Flush => self.inner.write_all(&[TAG_FLUSH]),
+        }
+    }
+
+    /// Writes every event from an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_all<I>(&mut self, events: I) -> std::io::Result<()>
+    where
+        I: IntoIterator<Item = TraceEvent>,
+    {
+        for e in events {
+            self.write_event(&e)?;
+        }
+        Ok(())
+    }
+
+    /// Ensures the header exists (for empty traces) and returns the inner
+    /// writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the header.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.ensure_header()?;
+        Ok(self.inner)
+    }
+}
+
+/// Streaming reader for the binary format; an iterator of
+/// `Result<TraceEvent, TraceFormatError>`.
+#[derive(Debug)]
+pub struct BinaryReader<R: Read> {
+    inner: R,
+    record_no: u64,
+}
+
+impl<R: Read> BinaryReader<R> {
+    /// Wraps a reader and validates the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error if the magic or version is wrong, or an I/O
+    /// error if the stream is shorter than a header.
+    pub fn new(mut inner: R) -> Result<Self, TraceFormatError> {
+        let mut header = [0u8; 5];
+        inner.read_exact(&mut header)?;
+        if &header[..4] != MAGIC {
+            return Err(TraceFormatError::Parse {
+                position: 0,
+                message: format!("bad magic {:?}", &header[..4]),
+            });
+        }
+        if header[4] != VERSION {
+            return Err(TraceFormatError::Parse {
+                position: 0,
+                message: format!("unsupported version {}", header[4]),
+            });
+        }
+        Ok(BinaryReader {
+            inner,
+            record_no: 0,
+        })
+    }
+
+    fn read_record(&mut self) -> Result<Option<TraceEvent>, TraceFormatError> {
+        let mut tag = [0u8; 1];
+        match self.inner.read_exact(&mut tag) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        self.record_no += 1;
+        let kind = match tag[0] {
+            TAG_FLUSH => return Ok(Some(TraceEvent::Flush)),
+            TAG_READ => AccessKind::Read,
+            TAG_WRITE => AccessKind::Write,
+            TAG_IFETCH => AccessKind::InstrFetch,
+            other => {
+                return Err(TraceFormatError::Parse {
+                    position: self.record_no,
+                    message: format!("unknown record tag {other:#x}"),
+                })
+            }
+        };
+        let mut addr = [0u8; 8];
+        self.inner.read_exact(&mut addr).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceFormatError::Parse {
+                    position: self.record_no,
+                    message: "truncated record".into(),
+                }
+            } else {
+                e.into()
+            }
+        })?;
+        Ok(Some(TraceEvent::Ref(TraceRecord::new(
+            u64::from_le_bytes(addr),
+            kind,
+        ))))
+    }
+}
+
+impl<R: Read> Iterator for BinaryReader<R> {
+    type Item = Result<TraceEvent, TraceFormatError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(events: &[TraceEvent]) -> Vec<TraceEvent> {
+        let mut buf = Vec::new();
+        let mut w = BinaryWriter::new(&mut buf);
+        w.write_all(events.iter().copied()).unwrap();
+        w.finish().unwrap();
+        BinaryReader::new(buf.as_slice())
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        assert_eq!(round_trip(&[]), Vec::new());
+    }
+
+    #[test]
+    fn mixed_events_round_trip() {
+        let events = vec![
+            TraceEvent::Ref(TraceRecord::read(0)),
+            TraceEvent::Flush,
+            TraceEvent::Ref(TraceRecord::write(u64::MAX)),
+            TraceEvent::Ref(TraceRecord::ifetch(0x8000_0000_0000_0000)),
+        ];
+        assert_eq!(round_trip(&events), events);
+    }
+
+    #[test]
+    fn record_size_is_compact() {
+        let mut buf = Vec::new();
+        let mut w = BinaryWriter::new(&mut buf);
+        w.write_event(&TraceEvent::Ref(TraceRecord::read(1))).unwrap();
+        w.write_event(&TraceEvent::Flush).unwrap();
+        w.finish().unwrap();
+        // 5 header + 9 ref + 1 flush
+        assert_eq!(buf.len(), 15);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = BinaryReader::new(&b"NOPE\x01rest"[..]).unwrap_err();
+        assert!(matches!(err, TraceFormatError::Parse { position: 0, .. }));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let err = BinaryReader::new(&b"SETA\x63"[..]).unwrap_err();
+        assert!(matches!(err, TraceFormatError::Parse { position: 0, .. }));
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        let mut data = Vec::new();
+        data.extend_from_slice(b"SETA\x01");
+        data.push(0x42);
+        let err = BinaryReader::new(data.as_slice())
+            .unwrap()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(matches!(err, TraceFormatError::Parse { .. }));
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let mut data = Vec::new();
+        data.extend_from_slice(b"SETA\x01");
+        data.push(TAG_READ);
+        data.extend_from_slice(&[1, 2, 3]); // only 3 of 8 address bytes
+        let err = BinaryReader::new(data.as_slice())
+            .unwrap()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        match err {
+            TraceFormatError::Parse { message, .. } => {
+                assert!(message.contains("truncated"), "{message}")
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_header_is_io_error() {
+        let err = BinaryReader::new(&b"SE"[..]).unwrap_err();
+        assert!(matches!(err, TraceFormatError::Io(_)));
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_events_round_trip(
+            raw in proptest::collection::vec((any::<u64>(), 0u8..4), 0..200)
+        ) {
+            let events: Vec<TraceEvent> = raw
+                .into_iter()
+                .map(|(addr, k)| match k {
+                    0 => TraceEvent::Ref(TraceRecord::read(addr)),
+                    1 => TraceEvent::Ref(TraceRecord::write(addr)),
+                    2 => TraceEvent::Ref(TraceRecord::ifetch(addr)),
+                    _ => TraceEvent::Flush,
+                })
+                .collect();
+            prop_assert_eq!(round_trip(&events), events);
+        }
+    }
+}

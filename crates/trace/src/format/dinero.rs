@@ -1,0 +1,267 @@
+//! The classic Dinero "din" trace format.
+//!
+//! The de-facto interchange format of the era's cache studies (Dinero III
+//! was the standard simulator when the paper was written): one reference
+//! per line, a numeric label then a hex address:
+//!
+//! ```text
+//! 0 7fff0010      # data read
+//! 1 7fff0010      # data write
+//! 2 40001000      # instruction fetch
+//! ```
+//!
+//! Labels 3 (escape/unknown) and 4 (cache flush, used by some din
+//! dialects) are also handled: 4 maps to [`TraceEvent::Flush`], 3 is
+//! decoded as a data read, matching Dinero's own treatment.
+//!
+//! Use this format to run the experiments on existing din traces, or to
+//! export the synthetic workload to other simulators.
+
+use crate::format::TraceFormatError;
+use crate::record::{AccessKind, TraceEvent, TraceRecord};
+use std::io::{BufRead, Write};
+
+const LABEL_READ: &str = "0";
+const LABEL_WRITE: &str = "1";
+const LABEL_IFETCH: &str = "2";
+const LABEL_ESCAPE: &str = "3";
+const LABEL_FLUSH: &str = "4";
+
+/// Streaming writer for the din format.
+///
+/// # Example
+///
+/// ```
+/// use seta_trace::format::{DineroReader, DineroWriter};
+/// use seta_trace::{TraceEvent, TraceRecord};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut buf = Vec::new();
+/// let mut w = DineroWriter::new(&mut buf);
+/// w.write_event(&TraceEvent::Ref(TraceRecord::write(0x7fff_0010)))?;
+/// drop(w);
+/// assert_eq!(String::from_utf8(buf.clone())?, "1 7fff0010\n");
+///
+/// let events: Vec<TraceEvent> =
+///     DineroReader::new(buf.as_slice()).collect::<Result<_, _>>()?;
+/// assert_eq!(events, vec![TraceEvent::Ref(TraceRecord::write(0x7fff_0010))]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DineroWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> DineroWriter<W> {
+    /// Wraps a writer; pass `&mut w` to keep using the writer afterwards.
+    pub fn new(inner: W) -> Self {
+        DineroWriter { inner }
+    }
+
+    /// Writes one event as one din line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_event(&mut self, event: &TraceEvent) -> std::io::Result<()> {
+        match event {
+            TraceEvent::Ref(r) => {
+                let label = match r.kind {
+                    AccessKind::Read => LABEL_READ,
+                    AccessKind::Write => LABEL_WRITE,
+                    AccessKind::InstrFetch => LABEL_IFETCH,
+                };
+                writeln!(self.inner, "{label} {:x}", r.addr)
+            }
+            TraceEvent::Flush => writeln!(self.inner, "{LABEL_FLUSH} 0"),
+        }
+    }
+
+    /// Writes every event from an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_all<I>(&mut self, events: I) -> std::io::Result<()>
+    where
+        I: IntoIterator<Item = TraceEvent>,
+    {
+        for e in events {
+            self.write_event(&e)?;
+        }
+        Ok(())
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+/// Streaming reader for the din format; an iterator of
+/// `Result<TraceEvent, TraceFormatError>`.
+#[derive(Debug)]
+pub struct DineroReader<R: BufRead> {
+    lines: std::io::Lines<R>,
+    line_no: u64,
+}
+
+impl<R: BufRead> DineroReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(inner: R) -> Self {
+        DineroReader {
+            lines: inner.lines(),
+            line_no: 0,
+        }
+    }
+
+    fn parse_line(&self, line: &str) -> Result<Option<TraceEvent>, TraceFormatError> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Ok(None);
+        }
+        let mut parts = trimmed.split_whitespace();
+        let label = parts.next().expect("non-empty line has a token");
+        let addr_tok = parts.next().ok_or_else(|| TraceFormatError::Parse {
+            position: self.line_no,
+            message: "missing address".into(),
+        })?;
+        // Dinero traces sometimes carry extra fields (e.g. padding); they
+        // are ignored, as Dinero itself ignores them.
+        let addr = u64::from_str_radix(addr_tok, 16).map_err(|e| TraceFormatError::Parse {
+            position: self.line_no,
+            message: format!("bad address {addr_tok:?}: {e}"),
+        })?;
+        let event = match label {
+            LABEL_READ | LABEL_ESCAPE => TraceEvent::Ref(TraceRecord::read(addr)),
+            LABEL_WRITE => TraceEvent::Ref(TraceRecord::write(addr)),
+            LABEL_IFETCH => TraceEvent::Ref(TraceRecord::ifetch(addr)),
+            LABEL_FLUSH => TraceEvent::Flush,
+            other => {
+                return Err(TraceFormatError::Parse {
+                    position: self.line_no,
+                    message: format!("unknown din label {other:?}"),
+                })
+            }
+        };
+        Ok(Some(event))
+    }
+}
+
+impl<R: BufRead> Iterator for DineroReader<R> {
+    type Item = Result<TraceEvent, TraceFormatError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(l) => l,
+                Err(e) => return Some(Err(e.into())),
+            };
+            self.line_no += 1;
+            match self.parse_line(&line) {
+                Ok(Some(ev)) => return Some(Ok(ev)),
+                Ok(None) => continue,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(events: &[TraceEvent]) -> Vec<TraceEvent> {
+        let mut buf = Vec::new();
+        let mut w = DineroWriter::new(&mut buf);
+        w.write_all(events.iter().copied()).unwrap();
+        DineroReader::new(buf.as_slice())
+            .collect::<Result<_, _>>()
+            .unwrap()
+    }
+
+    #[test]
+    fn classic_din_lines_parse() {
+        let din = "0 7fff0010\n1 7fff0014\n2 40001000\n";
+        let events: Vec<_> = DineroReader::new(din.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::Ref(TraceRecord::read(0x7fff_0010)),
+                TraceEvent::Ref(TraceRecord::write(0x7fff_0014)),
+                TraceEvent::Ref(TraceRecord::ifetch(0x4000_1000)),
+            ]
+        );
+    }
+
+    #[test]
+    fn label_three_decodes_as_read() {
+        let events: Vec<_> = DineroReader::new("3 100\n".as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(events, vec![TraceEvent::Ref(TraceRecord::read(0x100))]);
+    }
+
+    #[test]
+    fn label_four_is_flush() {
+        let events: Vec<_> = DineroReader::new("4 0\n".as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(events, vec![TraceEvent::Flush]);
+    }
+
+    #[test]
+    fn extra_fields_are_ignored() {
+        let events: Vec<_> = DineroReader::new("0 100 extra stuff\n".as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(events, vec![TraceEvent::Ref(TraceRecord::read(0x100))]);
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let err = DineroReader::new("7 100\n".as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(matches!(err, TraceFormatError::Parse { position: 1, .. }));
+    }
+
+    #[test]
+    fn bad_address_is_an_error() {
+        let err = DineroReader::new("0 zz\n".as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(matches!(err, TraceFormatError::Parse { .. }));
+    }
+
+    #[test]
+    fn addresses_have_no_prefix_in_output() {
+        let mut buf = Vec::new();
+        let mut w = DineroWriter::new(&mut buf);
+        w.write_event(&TraceEvent::Ref(TraceRecord::read(0xABCD)))
+            .unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "0 abcd\n");
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_events_round_trip(
+            raw in proptest::collection::vec((any::<u64>(), 0u8..4), 0..200)
+        ) {
+            let events: Vec<TraceEvent> = raw
+                .into_iter()
+                .map(|(addr, k)| match k {
+                    0 => TraceEvent::Ref(TraceRecord::read(addr)),
+                    1 => TraceEvent::Ref(TraceRecord::write(addr)),
+                    2 => TraceEvent::Ref(TraceRecord::ifetch(addr)),
+                    _ => TraceEvent::Flush,
+                })
+                .collect();
+            prop_assert_eq!(round_trip(&events), events);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! On-disk trace formats.
+//!
+//! Three interchangeable encodings are provided:
+//!
+//! * [`text`] — a human-readable, line-oriented format in the spirit of the
+//!   classic Dinero "din" format (`<mnemonic> <hex address>` per line, with
+//!   `# flush` marker lines).
+//! * [`binary`] — a compact framed binary format (9 bytes per reference)
+//!   with a magic header, suitable for large traces.
+//! * [`dinero`] — the classic Dinero "din" interchange format of the
+//!   paper's era, for importing existing traces and exporting to other
+//!   simulators.
+//!
+//! All formats encode the full [`TraceEvent`](crate::TraceEvent) stream,
+//! including flush markers, and round-trip losslessly; see the property
+//! tests in each module.
+
+pub mod binary;
+pub mod dinero;
+pub mod text;
+
+pub use binary::{BinaryReader, BinaryWriter};
+pub use dinero::{DineroReader, DineroWriter};
+pub use text::{TextReader, TextWriter};
+
+use std::fmt;
+
+/// Errors produced while decoding a trace.
+#[derive(Debug)]
+pub enum TraceFormatError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input did not conform to the format.
+    Parse {
+        /// 1-based line (text) or record (binary) number where decoding failed.
+        position: u64,
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFormatError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceFormatError::Parse { position, message } => {
+                write!(f, "trace parse error at {position}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceFormatError::Io(e) => Some(e),
+            TraceFormatError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceFormatError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFormatError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_mentions_position() {
+        let e = TraceFormatError::Parse {
+            position: 7,
+            message: "bad mnemonic".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('7'), "{s}");
+        assert!(s.contains("bad mnemonic"), "{s}");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: TraceFormatError = io.into();
+        assert!(matches!(e, TraceFormatError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,273 @@
+//! The full paper-methodology workload: concatenated multiprogrammed
+//! segments with cold-start flushes between them.
+
+use crate::gen::{Multiprogram, MultiprogramConfig};
+use crate::record::TraceEvent;
+
+/// Configuration for [`AtumLike`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AtumLikeConfig {
+    /// Number of concatenated segments (the paper used 23 ATUM traces).
+    pub segments: usize,
+    /// References per segment (the paper's traces were ~350,000 each).
+    pub refs_per_segment: u64,
+    /// Whether to emit a [`TraceEvent::Flush`] before each segment (the
+    /// paper's default "cold" methodology). Disable for the paper's
+    /// "warmer" variant: §3 reports warmer results were similar with
+    /// smaller miss ratios.
+    pub flush_between_segments: bool,
+    /// The multiprogrammed workload each segment runs.
+    pub multiprogram: MultiprogramConfig,
+}
+
+impl AtumLikeConfig {
+    /// The configuration mirroring the paper's trace: 23 segments of
+    /// ~350K references each (8.05M references total).
+    ///
+    /// Use [`AtumLikeConfig::scaled`] for faster runs with the same
+    /// structure.
+    pub fn paper_like() -> Self {
+        AtumLikeConfig {
+            segments: 23,
+            refs_per_segment: 350_000,
+            flush_between_segments: true,
+            multiprogram: MultiprogramConfig::default(),
+        }
+    }
+
+    /// The paper-like configuration shrunk by `factor` (both segment count
+    /// and length), for quick tests and benches. `factor = 1` is
+    /// [`paper_like`](AtumLikeConfig::paper_like); larger factors shrink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn scaled(factor: u64) -> Self {
+        assert!(factor > 0, "scale factor must be positive");
+        let full = Self::paper_like();
+        AtumLikeConfig {
+            segments: ((full.segments as u64 / factor).max(2)) as usize,
+            refs_per_segment: (full.refs_per_segment / factor).max(10_000),
+            ..full
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segments == 0 {
+            return Err("need at least one segment".into());
+        }
+        if self.refs_per_segment == 0 {
+            return Err("refs_per_segment must be positive".into());
+        }
+        self.multiprogram.validate()
+    }
+
+    /// Total number of memory references the trace will contain.
+    pub fn total_refs(&self) -> u64 {
+        self.segments as u64 * self.refs_per_segment
+    }
+}
+
+impl Default for AtumLikeConfig {
+    fn default() -> Self {
+        Self::paper_like()
+    }
+}
+
+/// Iterator over the events of an ATUM-like multiprogrammed trace.
+///
+/// Each segment is an independent [`Multiprogram`] run (fresh seed, fresh
+/// address-space usage via a per-segment seed offset), preceded by a
+/// [`TraceEvent::Flush`] so that, exactly as in the paper, "each trace
+/// starts from a cold cache".
+///
+/// # Example
+///
+/// ```
+/// use seta_trace::gen::{AtumLike, AtumLikeConfig};
+/// use seta_trace::TraceEvent;
+///
+/// let mut cfg = AtumLikeConfig::paper_like();
+/// cfg.segments = 1;
+/// cfg.refs_per_segment = 100;
+/// let events: Vec<TraceEvent> = AtumLike::new(cfg, 1).collect();
+/// assert_eq!(events.len(), 101); // 1 flush + 100 refs
+/// assert!(events[0].is_flush());
+/// ```
+#[derive(Debug)]
+pub struct AtumLike {
+    config: AtumLikeConfig,
+    seed: u64,
+    segment: usize,
+    emitted_in_segment: u64,
+    flush_pending: bool,
+    current: Option<Multiprogram>,
+}
+
+impl AtumLike {
+    /// Creates the trace generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`AtumLikeConfig::validate`] to check first when the configuration
+    /// comes from user input.
+    pub fn new(config: AtumLikeConfig, seed: u64) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid AtumLikeConfig: {e}"));
+        AtumLike {
+            config,
+            seed,
+            segment: 0,
+            emitted_in_segment: 0,
+            flush_pending: true,
+            current: None,
+        }
+    }
+
+    /// The configuration this generator runs with.
+    pub fn config(&self) -> &AtumLikeConfig {
+        &self.config
+    }
+}
+
+impl Iterator for AtumLike {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.segment >= self.config.segments {
+            return None;
+        }
+        if self.flush_pending {
+            self.flush_pending = false;
+            let seg_seed = self
+                .seed
+                .wrapping_add((self.segment as u64).wrapping_mul(0x0123_4567_89AB_CDEF));
+            let workload = Multiprogram::new(self.config.multiprogram.clone(), seg_seed)
+                .expect("config validated at construction");
+            self.current = Some(workload);
+            self.emitted_in_segment = 0;
+            if self.config.flush_between_segments {
+                return Some(TraceEvent::Flush);
+            }
+        }
+        let workload = self.current.as_mut().expect("segment is active");
+        let record = workload.next_record();
+        self.emitted_in_segment += 1;
+        if self.emitted_in_segment >= self.config.refs_per_segment {
+            self.segment += 1;
+            self.flush_pending = true;
+            self.current = None;
+        }
+        Some(TraceEvent::Ref(record))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(segments: usize, per: u64) -> AtumLikeConfig {
+        let mut cfg = AtumLikeConfig::paper_like();
+        cfg.segments = segments;
+        cfg.refs_per_segment = per;
+        cfg
+    }
+
+    #[test]
+    fn event_counts_match_config() {
+        let events: Vec<_> = AtumLike::new(small(3, 1_000), 7).collect();
+        let flushes = events.iter().filter(|e| e.is_flush()).count();
+        let refs = events.len() - flushes;
+        assert_eq!(flushes, 3);
+        assert_eq!(refs, 3_000);
+    }
+
+    #[test]
+    fn every_segment_starts_with_flush() {
+        let events: Vec<_> = AtumLike::new(small(4, 500), 3).collect();
+        let mut count_since_flush = 0u64;
+        let mut segment_lengths = Vec::new();
+        for e in &events {
+            if e.is_flush() {
+                if count_since_flush > 0 {
+                    segment_lengths.push(count_since_flush);
+                }
+                count_since_flush = 0;
+            } else {
+                count_since_flush += 1;
+            }
+        }
+        segment_lengths.push(count_since_flush);
+        assert_eq!(segment_lengths, vec![500; 4]);
+    }
+
+    #[test]
+    fn segments_differ_from_each_other() {
+        let events: Vec<_> = AtumLike::new(small(2, 2_000), 11).collect();
+        let segs: Vec<Vec<u64>> = events
+            .split(|e| e.is_flush())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.iter().map(|e| e.as_ref_event().unwrap().addr).collect())
+            .collect();
+        assert_eq!(segs.len(), 2);
+        assert_ne!(segs[0], segs[1], "segments should use fresh seeds");
+    }
+
+    #[test]
+    fn paper_like_matches_published_scale() {
+        let cfg = AtumLikeConfig::paper_like();
+        assert_eq!(cfg.segments, 23);
+        assert_eq!(cfg.total_refs(), 8_050_000);
+        assert!(cfg.total_refs() > 8_000_000, "paper says 'over 8 million'");
+    }
+
+    #[test]
+    fn scaled_preserves_structure() {
+        let cfg = AtumLikeConfig::scaled(10);
+        assert!(cfg.segments >= 2);
+        assert!(cfg.refs_per_segment >= 10_000);
+        assert!(cfg.total_refs() < AtumLikeConfig::paper_like().total_refs());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_zero_panics() {
+        AtumLikeConfig::scaled(0);
+    }
+
+    #[test]
+    fn warm_variant_emits_no_flushes() {
+        let mut cfg = small(3, 200);
+        cfg.flush_between_segments = false;
+        let events: Vec<_> = AtumLike::new(cfg, 7).collect();
+        assert_eq!(events.len(), 600);
+        assert!(events.iter().all(|e| !e.is_flush()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<_> = AtumLike::new(small(2, 300), 5).collect();
+        let b: Vec<_> = AtumLike::new(small(2, 300), 5).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = AtumLike::new(small(1, 300), 5).collect();
+        let b: Vec<_> = AtumLike::new(small(1, 300), 6).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AtumLikeConfig")]
+    fn invalid_config_panics() {
+        AtumLike::new(small(0, 100), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Synthetic workload generators.
+//!
+//! The paper drives its simulations with ATUM traces of a multiprogrammed
+//! VAX operating system: 23 individual ~350K-reference traces concatenated
+//! into one 8M-reference trace with full cache flushes between segments.
+//! Those traces are proprietary, so this module builds an equivalent
+//! synthetic workload from first principles, layer by layer:
+//!
+//! * [`PowerLawSampler`] — truncated power-law (Zipf-like) integer sampler,
+//!   the standard model for LRU stack-distance distributions of real
+//!   programs.
+//! * [`StackModel`] — a data-reference generator driven by an explicit LRU
+//!   stack of memory regions: temporal locality comes from power-law stack
+//!   distances, spatial locality from sequential runs within regions.
+//! * [`InstructionStream`] — sequential instruction fetch with branches and
+//!   loop-back jumps.
+//! * [`ProcessStream`] — one process: an instruction stream and a data
+//!   stream interleaved at a configurable fetch ratio, in a private address
+//!   space.
+//! * [`Multiprogram`] — several processes scheduled round-robin with
+//!   geometric quantum lengths and operating-system activity at every
+//!   context switch.
+//! * [`AtumLike`] — the full paper-methodology workload: `n` segments of a
+//!   multiprogrammed trace with [`TraceEvent::Flush`](crate::TraceEvent)
+//!   markers between segments so every segment starts cold.
+//!
+//! Two elementary reference models round out the toolbox for validation
+//! workloads: [`Irm`] (independent references over a fixed pool, the
+//! assumption behind the paper's partial-compare formulas) and
+//! [`Strided`] (pure sweeps).
+//!
+//! All generators are deterministic given their seed, so every experiment
+//! in this repository is exactly reproducible.
+
+mod atum;
+mod instr;
+mod multiprog;
+mod process;
+mod sampler;
+mod stack;
+mod synthetic;
+
+pub use atum::{AtumLike, AtumLikeConfig};
+pub use instr::{InstrConfig, InstructionStream};
+pub use multiprog::{Multiprogram, MultiprogramConfig};
+pub use process::{ProcessConfig, ProcessStream};
+pub use sampler::PowerLawSampler;
+pub use stack::{StackConfig, StackModel};
+pub use synthetic::{Irm, Strided};

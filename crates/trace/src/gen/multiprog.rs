@@ -1,0 +1,256 @@
+//! Multiprogrammed workload: several processes scheduled round-robin with
+//! operating-system activity at context switches.
+
+use crate::gen::{ProcessConfig, ProcessStream};
+use crate::record::TraceRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Process id reserved for the operating system.
+///
+/// OS references are shared across all user processes, which is what makes
+/// multiprogrammed traces harsher on caches than single-process traces.
+pub const OS_PID: u64 = 0;
+
+/// Configuration for [`Multiprogram`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MultiprogramConfig {
+    /// Number of user processes (the OS is extra).
+    pub processes: usize,
+    /// Mean scheduling quantum in references (geometric distribution).
+    pub mean_quantum: u64,
+    /// Number of OS references emitted at each context switch (scheduler,
+    /// interrupt handling, page-table maintenance).
+    pub os_burst: u64,
+    /// Per-process stream parameters, shared by user processes.
+    pub process: ProcessConfig,
+    /// Parameters for the OS reference stream.
+    pub os_process: ProcessConfig,
+}
+
+impl MultiprogramConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.processes == 0 {
+            return Err("need at least one user process".into());
+        }
+        if self.mean_quantum == 0 {
+            return Err("mean_quantum must be positive".into());
+        }
+        self.process.validate()?;
+        self.os_process.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for MultiprogramConfig {
+    fn default() -> Self {
+        let mut os = ProcessConfig::default();
+        // The OS touches a wider, flatter working set than user code.
+        os.data.theta = 1.1;
+        os.data.p_new_region = 0.03;
+        MultiprogramConfig {
+            processes: 4,
+            mean_quantum: 35_000,
+            os_burst: 400,
+            process: ProcessConfig::default(),
+            os_process: os,
+        }
+    }
+}
+
+/// Interleaves several [`ProcessStream`]s round-robin with geometric quantum
+/// lengths, inserting a burst of OS references at every context switch.
+///
+/// # Example
+///
+/// ```
+/// use seta_trace::gen::{Multiprogram, MultiprogramConfig};
+///
+/// let mut m = Multiprogram::new(MultiprogramConfig::default(), 5).unwrap();
+/// let _first = m.next_record();
+/// ```
+#[derive(Debug)]
+pub struct Multiprogram {
+    users: Vec<ProcessStream>,
+    os: ProcessStream,
+    rng: StdRng,
+    current: usize,
+    /// References remaining in the current quantum.
+    remaining: u64,
+    /// OS references remaining in the current switch burst.
+    os_remaining: u64,
+    mean_quantum: u64,
+    os_burst: u64,
+    switches: u64,
+}
+
+impl Multiprogram {
+    /// Creates the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn new(config: MultiprogramConfig, seed: u64) -> Result<Self, String> {
+        config.validate()?;
+        let users = (0..config.processes)
+            .map(|i| {
+                ProcessStream::new(
+                    config.process.clone(),
+                    i as u64 + 1, // pid 0 is the OS
+                    seed.wrapping_add(0x1000 + i as u64),
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let os = ProcessStream::new(config.os_process.clone(), OS_PID, seed.wrapping_add(0xFFFF))?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first_quantum = Self::draw_quantum(&mut rng, config.mean_quantum);
+        Ok(Multiprogram {
+            users,
+            os,
+            rng,
+            current: 0,
+            remaining: first_quantum,
+            os_remaining: 0,
+            mean_quantum: config.mean_quantum,
+            os_burst: config.os_burst,
+            switches: 0,
+        })
+    }
+
+    fn draw_quantum(rng: &mut StdRng, mean: u64) -> u64 {
+        // Geometric with the given mean, floored at 1.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let q = (-u.ln() * mean as f64).round() as u64;
+        q.max(1)
+    }
+
+    /// Number of context switches performed so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Produces the next reference.
+    pub fn next_record(&mut self) -> TraceRecord {
+        if self.os_remaining > 0 {
+            self.os_remaining -= 1;
+            return self.os.next_record();
+        }
+        if self.remaining == 0 {
+            self.switches += 1;
+            self.current = (self.current + 1) % self.users.len();
+            self.remaining = Self::draw_quantum(&mut self.rng, self.mean_quantum);
+            if self.os_burst > 0 {
+                self.os_remaining = self.os_burst - 1;
+                return self.os.next_record();
+            }
+        }
+        self.remaining -= 1;
+        self.users[self.current].next_record()
+    }
+}
+
+impl Iterator for Multiprogram {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.next_record())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn workload(seed: u64) -> Multiprogram {
+        let mut cfg = MultiprogramConfig::default();
+        cfg.mean_quantum = 500;
+        cfg.os_burst = 50;
+        Multiprogram::new(cfg, seed).unwrap()
+    }
+
+    #[test]
+    fn all_processes_eventually_run() {
+        let mut m = workload(1);
+        let pids: HashSet<u64> = (0..50_000).map(|_| m.next_record().addr >> 32).collect();
+        // 4 user pids + OS
+        assert_eq!(pids.len(), 5, "pids seen: {pids:?}");
+        assert!(pids.contains(&OS_PID));
+    }
+
+    #[test]
+    fn os_fraction_matches_burst_ratio() {
+        let mut m = workload(2);
+        let n = 100_000;
+        let os_refs = (0..n)
+            .filter(|_| m.next_record().addr >> 32 == OS_PID)
+            .count();
+        let frac = os_refs as f64 / n as f64;
+        // burst 50 per quantum of mean 500 → ~9% of references.
+        assert!(frac > 0.04 && frac < 0.18, "os fraction {frac}");
+    }
+
+    #[test]
+    fn context_switches_happen() {
+        let mut m = workload(3);
+        for _ in 0..20_000 {
+            m.next_record();
+        }
+        assert!(m.switches() > 10, "only {} switches", m.switches());
+    }
+
+    #[test]
+    fn quanta_are_contiguous() {
+        // Between two OS bursts, all user references come from one pid.
+        let mut m = workload(4);
+        let mut current_user: Option<u64> = None;
+        let mut violations = 0;
+        for _ in 0..50_000 {
+            let pid = m.next_record().addr >> 32;
+            if pid == OS_PID {
+                current_user = None;
+            } else {
+                match current_user {
+                    None => current_user = Some(pid),
+                    Some(p) if p != pid => violations += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn zero_os_burst_emits_no_os_refs() {
+        let mut cfg = MultiprogramConfig::default();
+        cfg.os_burst = 0;
+        cfg.mean_quantum = 100;
+        let mut m = Multiprogram::new(cfg, 5).unwrap();
+        for _ in 0..10_000 {
+            assert_ne!(m.next_record().addr >> 32, OS_PID);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<_> = workload(9).take(1_000).collect();
+        let b: Vec<_> = workload(9).take(1_000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = MultiprogramConfig::default();
+        c.processes = 0;
+        assert!(Multiprogram::new(c, 0).is_err());
+
+        let mut c = MultiprogramConfig::default();
+        c.mean_quantum = 0;
+        assert!(Multiprogram::new(c, 0).is_err());
+    }
+}

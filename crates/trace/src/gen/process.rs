@@ -1,0 +1,191 @@
+//! Single-process reference stream: instruction fetches interleaved with
+//! data references in a private address space.
+
+use crate::gen::{InstrConfig, InstructionStream, StackConfig, StackModel};
+use crate::record::TraceRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Span of the virtual address space given to each process.
+///
+/// Process `p` owns addresses `[p << 32, (p+1) << 32)`: code in the bottom
+/// half, data in the top half. This mirrors the per-process virtual address
+/// spaces of the paper's multiprogrammed traces.
+pub const PROCESS_SPAN_BITS: u32 = 32;
+
+/// Configuration for [`ProcessStream`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProcessConfig {
+    /// Fraction of references that are instruction fetches.
+    pub ifetch_fraction: f64,
+    /// Instruction stream parameters.
+    pub instr: InstrConfig,
+    /// Data stream parameters.
+    pub data: StackConfig,
+}
+
+impl ProcessConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.ifetch_fraction) {
+            return Err(format!(
+                "ifetch_fraction = {} is not a probability",
+                self.ifetch_fraction
+            ));
+        }
+        self.instr.validate()?;
+        self.data.validate()?;
+        if self.instr.code_segment > 1u64 << (PROCESS_SPAN_BITS - 1) {
+            return Err("code_segment exceeds the per-process code window".into());
+        }
+        if self.data.data_segment > 1u64 << (PROCESS_SPAN_BITS - 1) {
+            return Err("data_segment exceeds the per-process data window".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ProcessConfig {
+    fn default() -> Self {
+        ProcessConfig {
+            ifetch_fraction: 0.55,
+            instr: InstrConfig::default(),
+            data: StackConfig::default(),
+        }
+    }
+}
+
+/// One process: mixes an [`InstructionStream`] and a [`StackModel`] at the
+/// configured fetch ratio inside the process's private address space.
+///
+/// # Example
+///
+/// ```
+/// use seta_trace::gen::{ProcessConfig, ProcessStream};
+///
+/// let mut p = ProcessStream::new(ProcessConfig::default(), 3, 11).unwrap();
+/// let r = p.next_record();
+/// assert_eq!(r.addr >> 32, 3, "address carries the process id");
+/// ```
+#[derive(Debug)]
+pub struct ProcessStream {
+    pid: u64,
+    ifetch_fraction: f64,
+    instr: InstructionStream,
+    data: StackModel,
+    rng: StdRng,
+}
+
+impl ProcessStream {
+    /// Creates the stream for process `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn new(config: ProcessConfig, pid: u64, seed: u64) -> Result<Self, String> {
+        config.validate()?;
+        let base = pid << PROCESS_SPAN_BITS;
+        let data_base = base + (1u64 << (PROCESS_SPAN_BITS - 1));
+        // Derive decorrelated sub-seeds for the two streams.
+        let instr = InstructionStream::new(config.instr, base, seed.wrapping_mul(0x9E37_79B9).wrapping_add(1))?;
+        let data = StackModel::new(config.data, data_base, seed.wrapping_mul(0x85EB_CA6B).wrapping_add(2))?;
+        Ok(ProcessStream {
+            pid,
+            ifetch_fraction: config.ifetch_fraction,
+            instr,
+            data,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The process id this stream generates for.
+    pub fn pid(&self) -> u64 {
+        self.pid
+    }
+
+    /// Produces the next reference.
+    pub fn next_record(&mut self) -> TraceRecord {
+        if self.rng.gen_bool(self.ifetch_fraction) {
+            self.instr.next_record()
+        } else {
+            self.data.next_record()
+        }
+    }
+}
+
+impl Iterator for ProcessStream {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.next_record())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::AccessKind;
+
+    #[test]
+    fn addresses_carry_pid() {
+        for pid in [0u64, 1, 5, 200] {
+            let mut p = ProcessStream::new(ProcessConfig::default(), pid, 1).unwrap();
+            for _ in 0..1_000 {
+                assert_eq!(p.next_record().addr >> PROCESS_SPAN_BITS, pid);
+            }
+        }
+    }
+
+    #[test]
+    fn code_and_data_are_disjoint() {
+        let mut p = ProcessStream::new(ProcessConfig::default(), 1, 2).unwrap();
+        let half = 1u64 << (PROCESS_SPAN_BITS - 1);
+        for _ in 0..5_000 {
+            let r = p.next_record();
+            let offset = r.addr & (half * 2 - 1);
+            match r.kind {
+                AccessKind::InstrFetch => assert!(offset < half, "ifetch in data window"),
+                _ => assert!(offset >= half, "data ref in code window"),
+            }
+        }
+    }
+
+    #[test]
+    fn ifetch_fraction_is_respected() {
+        let mut p = ProcessStream::new(ProcessConfig::default(), 0, 3).unwrap();
+        let n = 20_000;
+        let fetches = (0..n)
+            .filter(|_| p.next_record().kind == AccessKind::InstrFetch)
+            .count();
+        let frac = fetches as f64 / n as f64;
+        assert!((frac - 0.55).abs() < 0.03, "ifetch fraction {frac}");
+    }
+
+    #[test]
+    fn different_pids_do_not_collide() {
+        let mut a = ProcessStream::new(ProcessConfig::default(), 1, 4).unwrap();
+        let mut b = ProcessStream::new(ProcessConfig::default(), 2, 4).unwrap();
+        for _ in 0..500 {
+            assert_ne!(a.next_record().addr >> 32, b.next_record().addr >> 32);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || ProcessStream::new(ProcessConfig::default(), 7, 42).unwrap();
+        let a: Vec<_> = mk().take(300).collect();
+        let b: Vec<_> = mk().take(300).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_fraction_is_rejected() {
+        let mut c = ProcessConfig::default();
+        c.ifetch_fraction = 2.0;
+        assert!(ProcessStream::new(c, 0, 0).is_err());
+    }
+}

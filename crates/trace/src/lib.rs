@@ -1,0 +1,45 @@
+//! Memory-reference trace infrastructure for the `seta` cache studies.
+//!
+//! This crate provides everything needed to produce and consume the address
+//! traces that drive the two-level cache simulations of
+//! *Kessler, Jooss, Lebeck and Hill, "Inexpensive Implementations of
+//! Set-Associativity" (ISCA 1989)*:
+//!
+//! * [`TraceRecord`] / [`TraceEvent`] — the reference model (instruction
+//!   fetches, data reads, data writes, plus explicit cache-flush events used
+//!   to mark the cold-start boundaries between concatenated trace segments).
+//! * [`format`](mod@format) — portable text and binary on-disk trace formats with
+//!   streaming readers and writers.
+//! * [`gen`] — synthetic workload generators, culminating in
+//!   [`gen::AtumLike`], a multiprogrammed operating-system-style workload
+//!   that substitutes for the proprietary ATUM traces used by the paper
+//!   (23 concatenated segments with cache flushes in between).
+//! * [`stats`] — descriptive statistics over traces (reference mix,
+//!   unique-block footprints).
+//!
+//! # Example
+//!
+//! Generate a small multiprogrammed trace and count its reference mix:
+//!
+//! ```
+//! use seta_trace::gen::{AtumLike, AtumLikeConfig};
+//! use seta_trace::stats::TraceStats;
+//!
+//! let mut config = AtumLikeConfig::paper_like();
+//! config.segments = 2;
+//! config.refs_per_segment = 10_000;
+//! let trace = AtumLike::new(config, 42);
+//! let stats = TraceStats::from_events(trace);
+//! assert_eq!(stats.flushes, 2);
+//! assert!(stats.total_refs() >= 20_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod gen;
+pub mod record;
+pub mod stats;
+
+pub use record::{AccessKind, TraceEvent, TraceRecord};

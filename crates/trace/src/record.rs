@@ -1,0 +1,228 @@
+//! The trace reference model.
+//!
+//! A trace is a sequence of [`TraceEvent`]s: memory references plus explicit
+//! flush markers. Flush markers reproduce the methodology of the paper,
+//! which concatenated 23 individual ATUM traces and inserted flushes of both
+//! cache levels between them so that every segment starts from a cold cache.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A data read (load).
+    Read,
+    /// A data write (store).
+    Write,
+    /// An instruction fetch.
+    InstrFetch,
+}
+
+impl AccessKind {
+    /// All kinds, in a fixed canonical order.
+    pub const ALL: [AccessKind; 3] = [AccessKind::Read, AccessKind::Write, AccessKind::InstrFetch];
+
+    /// Returns `true` for [`AccessKind::Write`].
+    ///
+    /// Writes are what make blocks dirty in a write-back cache, so this is
+    /// the predicate the simulators care about most.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+
+    /// A stable single-character mnemonic used by the text trace format
+    /// (`r`, `w`, `i`).
+    pub fn mnemonic(self) -> char {
+        match self {
+            AccessKind::Read => 'r',
+            AccessKind::Write => 'w',
+            AccessKind::InstrFetch => 'i',
+        }
+    }
+
+    /// Parses a mnemonic produced by [`AccessKind::mnemonic`].
+    ///
+    /// Returns `None` for unknown characters.
+    pub fn from_mnemonic(c: char) -> Option<AccessKind> {
+        match c {
+            'r' => Some(AccessKind::Read),
+            'w' => Some(AccessKind::Write),
+            'i' => Some(AccessKind::InstrFetch),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::InstrFetch => "ifetch",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One memory reference: a virtual byte address plus the kind of access.
+///
+/// Addresses are virtual, as in the ATUM traces the paper used; the cache
+/// simulators index and tag directly on these addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Virtual byte address of the reference.
+    pub addr: u64,
+    /// Kind of access.
+    pub kind: AccessKind,
+}
+
+impl TraceRecord {
+    /// Creates a new record.
+    ///
+    /// ```
+    /// use seta_trace::{AccessKind, TraceRecord};
+    /// let r = TraceRecord::new(0x1000, AccessKind::Read);
+    /// assert_eq!(r.addr, 0x1000);
+    /// ```
+    pub fn new(addr: u64, kind: AccessKind) -> Self {
+        TraceRecord { addr, kind }
+    }
+
+    /// Convenience constructor for a data read.
+    pub fn read(addr: u64) -> Self {
+        Self::new(addr, AccessKind::Read)
+    }
+
+    /// Convenience constructor for a data write.
+    pub fn write(addr: u64) -> Self {
+        Self::new(addr, AccessKind::Write)
+    }
+
+    /// Convenience constructor for an instruction fetch.
+    pub fn ifetch(addr: u64) -> Self {
+        Self::new(addr, AccessKind::InstrFetch)
+    }
+
+    /// The block-aligned address of this reference for the given block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is not a power of two.
+    pub fn block_addr(&self, block_size: u64) -> u64 {
+        assert!(
+            block_size.is_power_of_two(),
+            "block size must be a power of two, got {block_size}"
+        );
+        self.addr & !(block_size - 1)
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:#x}", self.kind.mnemonic(), self.addr)
+    }
+}
+
+/// One event in a trace: either a memory reference or a flush marker.
+///
+/// A flush instructs the simulated cache hierarchy to invalidate all levels,
+/// modelling the cold-start boundaries between concatenated trace segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A memory reference.
+    Ref(TraceRecord),
+    /// Flush all cache levels (segment boundary).
+    Flush,
+}
+
+impl TraceEvent {
+    /// Returns the contained record for reference events, `None` for flushes.
+    pub fn as_ref_event(&self) -> Option<&TraceRecord> {
+        match self {
+            TraceEvent::Ref(r) => Some(r),
+            TraceEvent::Flush => None,
+        }
+    }
+
+    /// Returns `true` if this event is a flush marker.
+    pub fn is_flush(&self) -> bool {
+        matches!(self, TraceEvent::Flush)
+    }
+}
+
+impl From<TraceRecord> for TraceEvent {
+    fn from(r: TraceRecord) -> Self {
+        TraceEvent::Ref(r)
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Ref(r) => write!(f, "{r}"),
+            TraceEvent::Flush => f.write_str("# flush"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for kind in AccessKind::ALL {
+            assert_eq!(AccessKind::from_mnemonic(kind.mnemonic()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_none() {
+        assert_eq!(AccessKind::from_mnemonic('x'), None);
+        assert_eq!(AccessKind::from_mnemonic('R'), None);
+    }
+
+    #[test]
+    fn only_write_is_write() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+        assert!(!AccessKind::InstrFetch.is_write());
+    }
+
+    #[test]
+    fn block_addr_masks_offset() {
+        let r = TraceRecord::read(0x1234_5678);
+        assert_eq!(r.block_addr(16), 0x1234_5670);
+        assert_eq!(r.block_addr(32), 0x1234_5660);
+        assert_eq!(r.block_addr(64), 0x1234_5640);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn block_addr_rejects_non_power_of_two() {
+        TraceRecord::read(0).block_addr(24);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = TraceEvent::Ref(TraceRecord::write(8));
+        assert!(!e.is_flush());
+        assert_eq!(e.as_ref_event().unwrap().addr, 8);
+        assert!(TraceEvent::Flush.is_flush());
+        assert!(TraceEvent::Flush.as_ref_event().is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TraceRecord::read(0x10).to_string(), "r 0x10");
+        assert_eq!(TraceEvent::Flush.to_string(), "# flush");
+        assert_eq!(AccessKind::InstrFetch.to_string(), "ifetch");
+    }
+
+    #[test]
+    fn from_record_wraps_ref() {
+        let ev: TraceEvent = TraceRecord::ifetch(4).into();
+        assert_eq!(ev, TraceEvent::Ref(TraceRecord::ifetch(4)));
+    }
+}

@@ -1,0 +1,191 @@
+//! Descriptive statistics over traces.
+
+use crate::record::{AccessKind, TraceEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Reference-mix and footprint statistics for a trace.
+///
+/// # Example
+///
+/// ```
+/// use seta_trace::stats::TraceStats;
+/// use seta_trace::{TraceEvent, TraceRecord};
+///
+/// let events = [
+///     TraceEvent::Ref(TraceRecord::read(0x00)),
+///     TraceEvent::Ref(TraceRecord::write(0x04)),
+///     TraceEvent::Ref(TraceRecord::ifetch(0x40)),
+///     TraceEvent::Flush,
+/// ];
+/// let stats = TraceStats::from_events(events);
+/// assert_eq!(stats.total_refs(), 3);
+/// assert_eq!(stats.flushes, 1);
+/// assert_eq!(stats.unique_blocks(64), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Data reads seen.
+    pub reads: u64,
+    /// Data writes seen.
+    pub writes: u64,
+    /// Instruction fetches seen.
+    pub ifetches: u64,
+    /// Flush markers seen.
+    pub flushes: u64,
+    /// Every distinct byte address seen.
+    addrs: HashSet<u64>,
+}
+
+impl TraceStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        TraceStats::default()
+    }
+
+    /// Consumes an event stream and accumulates statistics.
+    pub fn from_events<I>(events: I) -> Self
+    where
+        I: IntoIterator<Item = TraceEvent>,
+    {
+        let mut stats = TraceStats::new();
+        for e in events {
+            stats.observe(&e);
+        }
+        stats
+    }
+
+    /// Accumulates one event.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::Ref(r) => {
+                match r.kind {
+                    AccessKind::Read => self.reads += 1,
+                    AccessKind::Write => self.writes += 1,
+                    AccessKind::InstrFetch => self.ifetches += 1,
+                }
+                self.addrs.insert(r.addr);
+            }
+            TraceEvent::Flush => self.flushes += 1,
+        }
+    }
+
+    /// Total memory references (excluding flushes).
+    pub fn total_refs(&self) -> u64 {
+        self.reads + self.writes + self.ifetches
+    }
+
+    /// Fraction of references that are writes, or 0 for an empty trace.
+    pub fn write_fraction(&self) -> f64 {
+        if self.total_refs() == 0 {
+            0.0
+        } else {
+            self.writes as f64 / self.total_refs() as f64
+        }
+    }
+
+    /// Fraction of references that are instruction fetches, or 0 for an
+    /// empty trace.
+    pub fn ifetch_fraction(&self) -> f64 {
+        if self.total_refs() == 0 {
+            0.0
+        } else {
+            self.ifetches as f64 / self.total_refs() as f64
+        }
+    }
+
+    /// Number of distinct byte addresses referenced.
+    pub fn unique_addrs(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Number of distinct blocks referenced at the given block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is not a power of two.
+    pub fn unique_blocks(&self, block_size: u64) -> usize {
+        assert!(
+            block_size.is_power_of_two(),
+            "block size must be a power of two, got {block_size}"
+        );
+        let mask = !(block_size - 1);
+        let blocks: HashSet<u64> = self.addrs.iter().map(|a| a & mask).collect();
+        blocks.len()
+    }
+
+    /// Footprint in bytes at the given block size (unique blocks × size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is not a power of two.
+    pub fn footprint_bytes(&self, block_size: u64) -> u64 {
+        self.unique_blocks(block_size) as u64 * block_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    fn sample() -> TraceStats {
+        TraceStats::from_events([
+            TraceEvent::Ref(TraceRecord::read(0x00)),
+            TraceEvent::Ref(TraceRecord::read(0x00)),
+            TraceEvent::Ref(TraceRecord::write(0x10)),
+            TraceEvent::Ref(TraceRecord::ifetch(0x100)),
+            TraceEvent::Flush,
+            TraceEvent::Ref(TraceRecord::write(0x14)),
+        ])
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let s = sample();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.ifetches, 1);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.total_refs(), 5);
+    }
+
+    #[test]
+    fn fractions() {
+        let s = sample();
+        assert!((s.write_fraction() - 0.4).abs() < 1e-12);
+        assert!((s.ifetch_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_has_zero_fractions() {
+        let s = TraceStats::new();
+        assert_eq!(s.write_fraction(), 0.0);
+        assert_eq!(s.ifetch_fraction(), 0.0);
+        assert_eq!(s.total_refs(), 0);
+        assert_eq!(s.unique_addrs(), 0);
+    }
+
+    #[test]
+    fn unique_addresses_dedupe() {
+        let s = sample();
+        // 0x00 (twice), 0x10, 0x100, 0x14
+        assert_eq!(s.unique_addrs(), 4);
+    }
+
+    #[test]
+    fn unique_blocks_by_size() {
+        let s = sample();
+        // 16B blocks: {0x00, 0x10, 0x100} → 3
+        assert_eq!(s.unique_blocks(16), 3);
+        // 32B blocks: {0x00, 0x100} → 2
+        assert_eq!(s.unique_blocks(32), 2);
+        assert_eq!(s.footprint_bytes(32), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn unique_blocks_rejects_bad_size() {
+        sample().unique_blocks(10);
+    }
+}

@@ -1,0 +1,61 @@
+//! The 2-way trade-off triangle: true set-associativity (MRU lookup),
+//! hash-rehash, and plain direct-mapped.
+//!
+//! ```text
+//! cargo run --release --example hash_rehash_tradeoff
+//! ```
+//!
+//! The paper's footnote 2 points at Agarwal's hash-rehash cache as a
+//! competitor to the MRU scheme at 2-way associativity. The three designs
+//! occupy different corners of the (miss ratio, probes-per-hit) plane:
+//!
+//! * direct-mapped — 1 probe always, worst miss ratio;
+//! * 2-way LRU + MRU lookup — best miss ratio, every hit pays the
+//!   MRU-list read (≥ 2 probes);
+//! * hash-rehash — direct-mapped hardware, most hits cost 1 probe, miss
+//!   ratio in between.
+//!
+//! This example sweeps the invalidation-free design space and prints the
+//! trade-off with effective lookup times from the paper's Table 2 DRAM
+//! design.
+
+use seta::core::timing::{paper_dram_designs, LookupImpl};
+use seta::sim::config::HierarchyPreset;
+use seta::sim::experiments::{hashrehash, ExperimentParams};
+
+fn main() {
+    let mut params = ExperimentParams::scaled(4);
+    params.preset = HierarchyPreset::new(16 * 1024, 16, 256 * 1024, 32);
+
+    let study = hashrehash::run(&params);
+    println!("{}", study.render());
+
+    // Translate probes to nanoseconds with the Table 2 DRAM design for
+    // serial lookups (base + 50 ns per probe beyond the first).
+    let serial = paper_dram_designs()
+        .into_iter()
+        .find(|d| d.implementation == LookupImpl::Mru)
+        .expect("table 2 has the MRU design");
+    let direct = paper_dram_designs()
+        .into_iter()
+        .find(|d| d.implementation == LookupImpl::DirectMapped)
+        .expect("table 2 has the direct-mapped design");
+
+    println!("Effective hit time (Table 2 DRAM parts):");
+    for r in &study.rows {
+        let ns = if r.organization == "direct-mapped" || r.organization == "2-way traditional" {
+            direct.access_ns(0.0)
+        } else {
+            serial.access_ns((r.hit_probes - 1.0).max(0.0))
+        };
+        println!(
+            "  {:<18} {:>7.1} ns/hit at local miss ratio {:.4}",
+            r.organization, ns, r.local_miss_ratio
+        );
+    }
+    println!(
+        "\nHash-rehash keeps nearly direct-mapped hit latency while closing part\n\
+         of the miss-ratio gap; true 2-way closes all of it but pays the MRU\n\
+         list read on every hit — footnote 2's trade-off, quantified."
+    );
+}

@@ -1,0 +1,92 @@
+//! One-pass miss-ratio landscape with Mattson stack analysis.
+//!
+//! ```text
+//! cargo run --release --example miss_ratio_landscape
+//! ```
+//!
+//! The paper's Table 4 notes that "8 and 16-way set-associativity did not
+//! improve the miss ratios substantially over 4-way". The classic way to
+//! see that whole curve at once is the stack-distance technique of
+//! Mattson et al. [Matt70] — the same machinery behind the paper's fᵢ
+//! distribution: one pass over the trace yields the exact miss ratio of
+//! *every* associativity (at a fixed set count), because LRU caches have
+//! the inclusion property.
+//!
+//! This example runs the analyzer over the L2 request stream of the
+//! paper's 16K-16 configuration and prints the landscape, then verifies
+//! one point of it against a real cache simulation.
+
+use seta::cache::{Cache, CacheConfig, L2RequestView, MattsonAnalyzer, TwoLevel};
+use seta::trace::gen::{AtumLike, AtumLikeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut workload = AtumLikeConfig::paper_like();
+    workload.segments = 4;
+    workload.refs_per_segment = 200_000;
+
+    // The stream the analyzer sees is the L2's: read-ins and write-backs
+    // produced by a 16K-16 direct-mapped L1.
+    let l1 = CacheConfig::direct_mapped(16 * 1024, 16)?;
+    // Fix the set count to the paper's 256K-32 4-way geometry (2048 sets);
+    // the analyzer then prices every associativity at that set count.
+    let sets = 2048u64;
+    let block = 32u64;
+
+    let mut analyzer = MattsonAnalyzer::new(block, sets);
+    let mut hierarchy = TwoLevel::new(l1, CacheConfig::new(sets * block * 4, block, 4)?)?;
+    for event in AtumLike::new(workload.clone(), 42) {
+        if event.is_flush() {
+            analyzer.flush();
+        }
+        let a = &mut analyzer;
+        hierarchy.process(&event, &mut |req: &L2RequestView<'_>| {
+            a.observe(req.addr);
+        });
+    }
+
+    println!(
+        "L2 request stream: {} requests, {} cold",
+        analyzer.refs(),
+        analyzer.cold_misses()
+    );
+    println!("\nmiss ratio by associativity ({} sets x {} B blocks, one pass):", sets, block);
+    let mut assoc = 1u32;
+    let mut prev = f64::NAN;
+    while assoc <= 32 {
+        let r = analyzer.miss_ratio(assoc);
+        let delta = if prev.is_nan() {
+            String::new()
+        } else {
+            format!("  ({:+.4} vs previous)", r - prev)
+        };
+        println!("  {assoc:>3}-way  {r:.4}{delta}");
+        prev = r;
+        assoc *= 2;
+    }
+    println!(
+        "\nThe curve flattens right where the paper says: \"8 and 16-way\n\
+         set-associativity did not improve the miss ratios substantially over 4-way.\""
+    );
+
+    // Cross-check one point against a real simulation: replay the same L2
+    // request stream into an actual 4-way cache at the same set count.
+    let mut reference = Cache::new(CacheConfig::new(sets * block * 4, block, 4)?);
+    let mut hierarchy = TwoLevel::new(l1, CacheConfig::new(sets * block * 4, block, 4)?)?;
+    for event in AtumLike::new(workload, 42) {
+        if event.is_flush() {
+            reference.flush();
+        }
+        let r = &mut reference;
+        hierarchy.process(&event, &mut |req: &L2RequestView<'_>| {
+            r.access(req.addr, false);
+        });
+    }
+    println!(
+        "\ncross-check at 4-way: analyzer {} misses, simulated cache {} misses",
+        analyzer.misses(4),
+        reference.stats().misses()
+    );
+    assert_eq!(analyzer.misses(4), reference.stats().misses());
+    println!("exact match — the inclusion property, verified end to end.");
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Trace tooling: generate a workload, persist it in both on-disk formats,
+//! read it back, and drive a simulation from the file.
+//!
+//! ```text
+//! cargo run --release --example trace_pipeline
+//! ```
+//!
+//! Demonstrates the `seta-trace` I/O API — the path a user takes to run
+//! these experiments on their *own* traces instead of the synthetic
+//! workload: convert to the text or binary format, then stream the file
+//! through the hierarchy.
+
+use seta::cache::CacheConfig;
+use seta::sim::runner::{simulate, standard_strategies};
+use seta::trace::format::{BinaryReader, BinaryWriter, TextWriter};
+use seta::trace::gen::{AtumLike, AtumLikeConfig};
+use seta::trace::stats::TraceStats;
+use seta::trace::TraceEvent;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("seta_trace_pipeline");
+    std::fs::create_dir_all(&dir)?;
+    let bin_path = dir.join("workload.seta");
+    let txt_path = dir.join("workload.txt");
+
+    // 1. Generate a two-segment multiprogrammed workload.
+    let mut cfg = AtumLikeConfig::paper_like();
+    cfg.segments = 2;
+    cfg.refs_per_segment = 50_000;
+    let events: Vec<TraceEvent> = AtumLike::new(cfg, 7).collect();
+    println!("generated {} events", events.len());
+
+    // 2. Persist in both formats.
+    let mut bw = BinaryWriter::new(BufWriter::new(File::create(&bin_path)?));
+    bw.write_all(events.iter().copied())?;
+    bw.finish()?;
+    let mut tw = TextWriter::new(BufWriter::new(File::create(&txt_path)?));
+    tw.write_all(events.iter().take(1000).copied())?; // text sample
+    drop(tw);
+    println!(
+        "binary: {} ({} bytes)",
+        bin_path.display(),
+        std::fs::metadata(&bin_path)?.len()
+    );
+    println!("text sample: {}", txt_path.display());
+
+    // 3. Read the binary trace back and verify it round-tripped.
+    let reader = BinaryReader::new(BufReader::new(File::open(&bin_path)?))?;
+    let restored: Vec<TraceEvent> = reader.collect::<Result<_, _>>()?;
+    assert_eq!(restored, events, "binary format is lossless");
+
+    // 4. Describe the trace.
+    let stats = TraceStats::from_events(restored.iter().copied());
+    println!(
+        "\nreference mix: {} reads, {} writes, {} ifetches, {} flushes",
+        stats.reads, stats.writes, stats.ifetches, stats.flushes
+    );
+    println!(
+        "write fraction {:.3}, ifetch fraction {:.3}",
+        stats.write_fraction(),
+        stats.ifetch_fraction()
+    );
+    println!(
+        "footprint: {} KiB in 16-byte blocks, {} KiB in 64-byte blocks",
+        stats.footprint_bytes(16) / 1024,
+        stats.footprint_bytes(64) / 1024
+    );
+
+    // 5. Drive the hierarchy straight from the file.
+    let l1 = CacheConfig::direct_mapped(4 * 1024, 16)?;
+    let l2 = CacheConfig::new(32 * 1024, 32, 4)?;
+    let reader = BinaryReader::new(BufReader::new(File::open(&bin_path)?))?;
+    let out = simulate(
+        l1,
+        l2,
+        reader.map(|r| r.expect("trace file decodes")),
+        &standard_strategies(4, 16),
+    );
+    println!(
+        "\nsimulated from file: {} read-ins, local miss ratio {:.4}",
+        out.hierarchy.read_ins,
+        out.hierarchy.local_miss_ratio()
+    );
+    for s in &out.strategies {
+        println!("  {:<28} {:.2} probes/access", s.name, s.probes.total_mean());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

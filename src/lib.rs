@@ -1,0 +1,54 @@
+//! # seta — inexpensive implementations of set-associativity
+//!
+//! A full reproduction of *R. E. Kessler, R. Jooss, A. Lebeck and
+//! M. D. Hill, "Inexpensive Implementations of Set-Associativity",
+//! ISCA 1989*: serial, MRU-ordered, and partial-compare cache lookup
+//! schemes, priced in tag probes against a trace-driven two-level
+//! write-back cache hierarchy.
+//!
+//! This facade crate re-exports the four library crates:
+//!
+//! * [`core`] (`seta-core`) — the lookup strategies, tag transformations,
+//!   and the paper's analytical and timing models.
+//! * [`cache`] (`seta-cache`) — set-associative write-back caches and the
+//!   two-level hierarchy.
+//! * [`trace`] (`seta-trace`) — trace formats and the synthetic
+//!   multiprogrammed workload generator.
+//! * [`sim`] (`seta-sim`) — the experiment harness that regenerates every
+//!   table and figure of the paper.
+//!
+//! # Quickstart
+//!
+//! Price the four lookup implementations on a multiprogrammed workload:
+//!
+//! ```
+//! use seta::cache::CacheConfig;
+//! use seta::sim::runner::{simulate, standard_strategies};
+//! use seta::trace::gen::{AtumLike, AtumLikeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut workload = AtumLikeConfig::paper_like();
+//! workload.segments = 2;
+//! workload.refs_per_segment = 20_000;
+//!
+//! let l1 = CacheConfig::direct_mapped(4 * 1024, 16)?;
+//! let l2 = CacheConfig::new(16 * 1024, 32, 4)?;
+//! let out = simulate(l1, l2, AtumLike::new(workload, 42), &standard_strategies(4, 16));
+//!
+//! for s in &out.strategies {
+//!     println!("{:28} {:.2} probes/access", s.name, s.probes.total_mean());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use seta_cache as cache;
+pub use seta_core as core;
+pub use seta_sim as sim;
+pub use seta_trace as trace;

@@ -1,0 +1,76 @@
+//! Workload calibration against the paper's Table 3.
+//!
+//! The synthetic ATUM-like workload substitutes for the paper's
+//! proprietary traces (see DESIGN.md §4). These tests pin the calibration:
+//! the measured L1 miss ratios must stay in bands around the published
+//! values and preserve their ordering, and the L2 request mix must look
+//! like the paper's (write-backs ≈ 21% of requests).
+
+use seta::sim::config::table3_l1_miss_ratios;
+use seta::sim::runner::{simulate, standard_strategies};
+use seta::trace::gen::{AtumLike, AtumLikeConfig};
+
+fn measured_l1_miss_ratios() -> Vec<(String, f64, f64, f64)> {
+    // 3 segments × 120K references: enough to warm a 16K L1 many times
+    // over while keeping the test quick in debug builds.
+    let mut cfg = AtumLikeConfig::paper_like();
+    cfg.segments = 3;
+    cfg.refs_per_segment = 120_000;
+    table3_l1_miss_ratios()
+        .into_iter()
+        .map(|(preset, published)| {
+            let out = simulate(
+                preset.l1().expect("valid preset"),
+                preset.l2(4).expect("valid preset"),
+                AtumLike::new(cfg.clone(), 0xCACE),
+                &standard_strategies(4, 16),
+            );
+            (
+                preset.label(),
+                published,
+                out.hierarchy.l1_miss_ratio(),
+                out.hierarchy.write_back_fraction(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn l1_miss_ratios_fall_in_calibration_bands() {
+    for (label, published, measured, _) in measured_l1_miss_ratios() {
+        assert!(
+            measured > published * 0.5 && measured < published * 2.0,
+            "{label}: measured {measured:.4} outside [0.5x, 2x] of paper {published:.4}"
+        );
+    }
+}
+
+#[test]
+fn miss_ratio_ordering_matches_table3() {
+    let rows = measured_l1_miss_ratios();
+    // 4K-16 > 16K-16 > 16K-32, as in the paper.
+    assert!(
+        rows[0].2 > rows[1].2,
+        "4K-16 ({:.4}) should miss more than 16K-16 ({:.4})",
+        rows[0].2,
+        rows[1].2
+    );
+    assert!(
+        rows[1].2 > rows[2].2,
+        "16K-16 ({:.4}) should miss more than 16K-32 ({:.4})",
+        rows[1].2,
+        rows[2].2
+    );
+}
+
+#[test]
+fn write_back_fraction_is_near_the_papers() {
+    // "Write-backs are approximately 20% of the requests to the level two
+    // cache" (Table 4 shows 0.2083–0.2302).
+    for (label, _, _, wb) in measured_l1_miss_ratios() {
+        assert!(
+            wb > 0.12 && wb < 0.35,
+            "{label}: write-back fraction {wb:.4} far from the paper's ~0.21"
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end smoke tests: every experiment runs at reduced scale,
+//! renders a table, and serializes to JSON.
+
+use seta::sim::config::HierarchyPreset;
+use seta::sim::experiments::{fig3, fig4, fig5, fig6, table1, table2, table4, ExperimentParams};
+
+fn params() -> ExperimentParams {
+    let mut p = ExperimentParams::scaled(1);
+    p.trace.segments = 2;
+    p.trace.refs_per_segment = 15_000;
+    p.preset = HierarchyPreset::new(4 * 1024, 16, 16 * 1024, 32);
+    p
+}
+
+#[test]
+fn table1_renders_and_serializes() {
+    let t = table1::run(16);
+    assert!(t.render().contains("Traditional"));
+    let json = serde_json::to_string(&t).expect("serializes");
+    assert!(json.contains("Naive"));
+    let back: table1::Table1 = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, t);
+}
+
+#[test]
+fn table2_renders_and_serializes() {
+    let t = table2::run();
+    assert!(t.render().contains("Dynamic RAM"));
+    let json = serde_json::to_string(&t).expect("serializes");
+    let back: table2::Table2 = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, t);
+}
+
+#[test]
+fn fig3_renders_and_serializes() {
+    let f = fig3::run_with_assocs(&params(), &[1, 4]);
+    assert_eq!(f.series.len(), 4);
+    assert!(f.render().contains("Figure 3"));
+    let json = serde_json::to_string(&f).expect("serializes");
+    let back: fig3::Fig3 = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, f);
+}
+
+#[test]
+fn fig4_renders_and_serializes() {
+    let f = fig4::run_with_assocs(&params(), &[4]);
+    assert!(f.render().contains("read-in"));
+    let json = serde_json::to_string(&f).expect("serializes");
+    let back: fig4::Fig4 = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, f);
+}
+
+#[test]
+fn fig5_renders_and_serializes() {
+    let f = fig5::run_with_assocs(&params(), &[4]);
+    assert_eq!(f.per_assoc.len(), 1);
+    assert!(f.render().contains("MRU"));
+    let json = serde_json::to_string(&f).expect("serializes");
+    let back: fig5::Fig5 = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, f);
+}
+
+#[test]
+fn fig6_renders_and_serializes() {
+    let f = fig6::run_with(&params(), &[16], &[4]);
+    assert_eq!(f.cells.len(), 1);
+    assert!(f.render().contains("XOR"));
+    let json = serde_json::to_string(&f).expect("serializes");
+    let back: fig6::Fig6 = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, f);
+}
+
+#[test]
+fn table4_renders_and_serializes() {
+    let presets = vec![HierarchyPreset::new(4 * 1024, 16, 16 * 1024, 32)];
+    let t = table4::run_with(&params(), &presets, &[4]);
+    assert_eq!(t.rows.len(), 1);
+    assert!(t.render().contains("4-Way"));
+    let json = serde_json::to_string(&t).expect("serializes");
+    let back: table4::Table4 = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, t);
+}
+
+#[test]
+fn experiments_are_deterministic_across_invocations() {
+    let a = fig4::run_with_assocs(&params(), &[4]);
+    let b = fig4::run_with_assocs(&params(), &[4]);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn figures_emit_csv() {
+    let p = params();
+    let f3 = fig3::run_with_assocs(&p, &[4]);
+    let csv = f3.csv();
+    assert!(csv.starts_with("Method,"), "{csv}");
+    assert_eq!(csv.lines().count(), 5, "header + 4 strategies:\n{csv}");
+
+    let f5 = fig5::run_with_assocs(&p, &[4]);
+    assert!(f5.left_csv().starts_with("Assoc,"));
+    assert!(f5.right_csv().contains("f_i"));
+
+    let f6 = fig6::run_with(&p, &[16], &[4]);
+    assert!(f6.csv().contains("Lower"));
+
+    let f4 = fig4::run_with_assocs(&p, &[4]);
+    assert!(f4.csv().contains("a=4 hit"));
+
+    let presets = vec![HierarchyPreset::new(4 * 1024, 16, 16 * 1024, 32)];
+    let t4 = table4::run_with(&p, &presets, &[4]);
+    assert!(t4.csv().starts_with("config,assoc,"), "{}", t4.csv());
+}
+
+#[test]
+fn extension_studies_run_and_serialize() {
+    use seta::sim::experiments::{
+        banked, contention, deep, hashrehash, invalidation, policy, timing_effective, warmth,
+    };
+    let p = params();
+
+    let b = banked::run_with_assocs(&p, &[4]);
+    assert!(b.render().contains("Banked"));
+    let json = serde_json::to_string(&b).expect("serializes");
+    assert_eq!(serde_json::from_str::<banked::BankedStudy>(&json).expect("deserializes"), b);
+
+    let h = hashrehash::run(&p);
+    assert!(h.render().contains("hash-rehash"));
+    let json = serde_json::to_string(&h).expect("serializes");
+    assert_eq!(
+        serde_json::from_str::<hashrehash::HashRehashStudy>(&json).expect("deserializes"),
+        h
+    );
+
+    let w = warmth::run_with_assoc(&p, 4);
+    assert!(w.render().contains("warm"));
+    let json = serde_json::to_string(&w).expect("serializes");
+    assert_eq!(serde_json::from_str::<warmth::WarmthStudy>(&json).expect("deserializes"), w);
+
+    let i = invalidation::run_with(&p, &[1, 4], 500, 4);
+    assert!(i.render().contains("invalidations"));
+    let json = serde_json::to_string(&i).expect("serializes");
+    assert_eq!(
+        serde_json::from_str::<invalidation::InvalidationStudy>(&json).expect("deserializes"),
+        i
+    );
+
+    let t = timing_effective::run_with_assocs(&p, &[4]);
+    assert!(t.render().contains("Effective"));
+    let json = serde_json::to_string(&t).expect("serializes");
+    assert_eq!(
+        serde_json::from_str::<timing_effective::EffectiveTiming>(&json).expect("deserializes"),
+        t
+    );
+
+    let c = contention::run_with(&p, 400.0, &[1, 8]);
+    assert!(c.render().contains("contention"));
+    let json = serde_json::to_string(&c).expect("serializes");
+    assert_eq!(
+        serde_json::from_str::<contention::ContentionStudy>(&json).expect("deserializes"),
+        c
+    );
+
+    let s = policy::run_with_assoc(&p, 4);
+    assert!(s.render().contains("Policy"));
+    let json = serde_json::to_string(&s).expect("serializes");
+    assert_eq!(serde_json::from_str::<policy::PolicyStudy>(&json).expect("deserializes"), s);
+
+    let d = deep::run_with(
+        &p,
+        seta::cache::CacheConfig::direct_mapped(2 * 1024, 16).expect("valid L1"),
+        seta::cache::CacheConfig::new(8 * 1024, 32, 4).expect("valid L2"),
+        &[4],
+        |a| seta::cache::CacheConfig::new(32 * 1024, 64, a).expect("valid L3"),
+    );
+    assert!(d.render().contains("Three-level"));
+    let json = serde_json::to_string(&d).expect("serializes");
+    assert_eq!(serde_json::from_str::<deep::DeepStudy>(&json).expect("deserializes"), d);
+}

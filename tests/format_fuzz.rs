@@ -1,0 +1,107 @@
+//! Robustness of the trace format readers: arbitrary input must produce
+//! errors, never panics, and valid prefixes must decode before the error.
+
+use proptest::prelude::*;
+use seta::trace::format::{BinaryReader, BinaryWriter, TextReader, TextWriter};
+use seta::trace::{TraceEvent, TraceRecord};
+
+proptest! {
+    /// The binary reader never panics on arbitrary bytes.
+    #[test]
+    fn binary_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(reader) = BinaryReader::new(bytes.as_slice()) {
+            // Drain fully; errors are fine, panics are not.
+            for item in reader {
+                if item.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The text reader never panics on arbitrary strings.
+    #[test]
+    fn text_reader_never_panics(text in "\\PC*") {
+        for item in TextReader::new(text.as_bytes()) {
+            if item.is_err() {
+                break;
+            }
+        }
+    }
+
+    /// A valid trace followed by garbage yields all valid events first,
+    /// then exactly one error (binary format).
+    #[test]
+    fn binary_valid_prefix_decodes(
+        addrs in proptest::collection::vec(any::<u64>(), 1..50),
+        garbage in 3u8..0xFF,
+    ) {
+        let events: Vec<TraceEvent> =
+            addrs.iter().map(|&a| TraceEvent::Ref(TraceRecord::read(a))).collect();
+        let mut buf = Vec::new();
+        let mut w = BinaryWriter::new(&mut buf);
+        w.write_all(events.iter().copied()).unwrap();
+        w.finish().unwrap();
+        buf.push(garbage); // invalid record tag (3..0xFF, excluding 0xFF)
+        if garbage == 0xFF {
+            return Ok(()); // 0xFF is a legal flush tag
+        }
+
+        let mut reader = BinaryReader::new(buf.as_slice()).expect("header is valid");
+        let mut decoded = Vec::new();
+        let mut saw_error = false;
+        for item in &mut reader {
+            match item {
+                Ok(e) => decoded.push(e),
+                Err(_) => {
+                    saw_error = true;
+                    break;
+                }
+            }
+        }
+        prop_assert_eq!(decoded, events);
+        prop_assert!(saw_error);
+    }
+
+    /// Text output of any trace is pure ASCII lines, one event per line.
+    #[test]
+    fn text_output_is_line_per_event(
+        addrs in proptest::collection::vec(any::<u64>(), 0..50)
+    ) {
+        let events: Vec<TraceEvent> =
+            addrs.iter().map(|&a| TraceEvent::Ref(TraceRecord::write(a))).collect();
+        let mut buf = Vec::new();
+        let mut w = TextWriter::new(&mut buf);
+        w.write_all(events.iter().copied()).unwrap();
+        let text = String::from_utf8(buf).expect("text format is UTF-8");
+        prop_assert!(text.is_ascii());
+        prop_assert_eq!(text.lines().count(), events.len());
+    }
+}
+
+#[test]
+fn truncations_of_a_valid_trace_never_panic() {
+    let events: Vec<TraceEvent> = (0..20)
+        .map(|i| {
+            if i % 5 == 4 {
+                TraceEvent::Flush
+            } else {
+                TraceEvent::Ref(TraceRecord::read(i * 0x40))
+            }
+        })
+        .collect();
+    let mut buf = Vec::new();
+    let mut w = BinaryWriter::new(&mut buf);
+    w.write_all(events.iter().copied()).unwrap();
+    w.finish().unwrap();
+
+    for len in 0..buf.len() {
+        if let Ok(reader) = BinaryReader::new(&buf[..len]) {
+            for item in reader {
+                if item.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
