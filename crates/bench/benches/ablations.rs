@@ -29,7 +29,9 @@ fn bench_hashrehash(c: &mut Criterion) {
     let params = params();
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);
-    g.bench_function("hashrehash", |b| b.iter(|| black_box(hashrehash::run(&params))));
+    g.bench_function("hashrehash", |b| {
+        b.iter(|| black_box(hashrehash::run(&params)))
+    });
     g.finish();
 }
 

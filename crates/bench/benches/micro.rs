@@ -142,7 +142,9 @@ fn bench_hierarchy_throughput(c: &mut Criterion) {
 fn bench_alternative_organizations(c: &mut Criterion) {
     const N: usize = 100_000;
     let mut rng = StdRng::seed_from_u64(17);
-    let addrs: Vec<u64> = (0..N).map(|_| rng.gen_range(0u64..(1 << 22)) & !15).collect();
+    let addrs: Vec<u64> = (0..N)
+        .map(|_| rng.gen_range(0u64..(1 << 22)) & !15)
+        .collect();
     let mut g = c.benchmark_group("organization");
     g.throughput(Throughput::Elements(N as u64));
     g.sample_size(20);

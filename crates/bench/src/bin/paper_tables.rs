@@ -5,18 +5,27 @@
 //!
 //! experiments: table1 table2 fig3 fig4 fig5 fig6 table4 calibrate all
 //!              banked hashrehash warmth invalidation timing contention deep policy extensions
-//!   --scale N   shrink the trace by N× (default 1 = full 8M references)
-//!   --seed S    workload seed (default the experiments' fixed seed)
-//!   --json      emit machine-readable JSON instead of text tables
+//!              run (one fully instrumented simulation)
+//!   --scale N        shrink the trace by N× (default 1 = full 8M references)
+//!   --seed S         workload seed (default the experiments' fixed seed)
+//!   --json           emit machine-readable JSON instead of text tables
+//!   --metrics F      stream metrics snapshots to F as JSON lines
+//!   --progress       heartbeat refs/sec and ETA to stderr (run only)
+//!   --assoc A        L2 associativity for run (default 4)
+//!   --prom F         write final Prometheus text exposition to F (run only)
 //! ```
 
+use seta_obs::RunManifest;
 use seta_sim::config::table3_l1_miss_ratios;
 use seta_sim::experiments::{
-    banked, contention, deep, fig3, fig4, fig5, fig6, hashrehash, invalidation, policy,
-    table1, table2, table4, timing_effective, warmth, ExperimentParams,
+    banked, contention, deep, fig3, fig4, fig5, fig6, hashrehash, invalidation, policy, table1,
+    table2, table4, timing_effective, warmth, ExperimentParams,
 };
+use seta_sim::metered::{simulate_instrumented, MeterConfig};
 use seta_sim::runner::{simulate, standard_strategies};
 use seta_trace::gen::AtumLike;
+use std::fs::File;
+use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
 struct Options {
@@ -25,17 +34,29 @@ struct Options {
     seed: Option<u64>,
     json: bool,
     csv: bool,
+    metrics: Option<String>,
+    progress: bool,
+    assoc: u32,
+    prom: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let experiment = args.next().ok_or_else(usage)?;
+    if experiment == "--version" {
+        println!("paper_tables {}", env!("CARGO_PKG_VERSION"));
+        std::process::exit(0);
+    }
     let mut opts = Options {
         experiment,
         scale: 1,
         seed: None,
         json: false,
         csv: false,
+        metrics: None,
+        progress: false,
+        assoc: 4,
+        prom: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,8 +71,26 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--seed needs a value")?;
                 opts.seed = Some(v.parse().map_err(|e| format!("bad --seed {v}: {e}"))?);
             }
+            "--assoc" => {
+                let v = args.next().ok_or("--assoc needs a value")?;
+                opts.assoc = v.parse().map_err(|e| format!("bad --assoc {v}: {e}"))?;
+                if !opts.assoc.is_power_of_two() {
+                    return Err("--assoc must be a power of two".into());
+                }
+            }
+            "--metrics" => {
+                opts.metrics = Some(args.next().ok_or("--metrics needs a path")?);
+            }
+            "--prom" => {
+                opts.prom = Some(args.next().ok_or("--prom needs a path")?);
+            }
+            "--progress" => opts.progress = true,
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
+            "--version" => {
+                println!("paper_tables {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
@@ -60,8 +99,10 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() -> String {
     "usage: paper_tables <experiment> [--scale N] [--seed S] [--json|--csv]\n\
+     \x20                   [--metrics out.jsonl] [--progress] [--assoc A] [--prom out.prom]\n\
      paper:      table1 table2 fig3 fig4 fig5 fig6 table4 calibrate all\n\
-     extensions: banked hashrehash warmth invalidation timing contention deep policy extensions"
+     extensions: banked hashrehash warmth invalidation timing contention deep policy extensions\n\
+     run:        one fully instrumented simulation of the figures hierarchy"
         .into()
 }
 
@@ -125,6 +166,83 @@ fn calibrate(p: &ExperimentParams, json: bool) {
             );
         }
     }
+}
+
+/// One fully instrumented simulation of the figures hierarchy: streams
+/// JSONL metrics snapshots, prints a per-strategy summary, and optionally
+/// writes the final Prometheus exposition.
+fn run_instrumented(p: &ExperimentParams, opts: &Options) -> Result<(), String> {
+    let preset = p.preset;
+    let l1 = preset.l1().map_err(|e| e.to_string())?;
+    let l2 = preset.l2(opts.assoc).map_err(|e| e.to_string())?;
+    let strategies = standard_strategies(opts.assoc, p.tag_bits);
+    let cfg = MeterConfig {
+        snapshot_every: 100_000,
+        progress: opts.progress,
+        expected_refs: Some(p.trace.total_refs()),
+    };
+    let mut writer = match &opts.metrics {
+        Some(path) => Some(BufWriter::new(
+            File::create(path).map_err(|e| format!("create {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    let source = format!(
+        "synthetic:atum-like {}x{}",
+        p.trace.segments, p.trace.refs_per_segment
+    );
+    let run = simulate_instrumented(
+        l1,
+        l2,
+        AtumLike::new(p.trace.clone(), p.seed),
+        &strategies,
+        &source,
+        p.seed,
+        &cfg,
+        writer.as_mut(),
+    )
+    .map_err(|e| format!("write metrics: {e}"))?;
+    if let Some(path) = &opts.prom {
+        std::fs::write(path, seta_obs::export::prometheus_text(&run.registry))
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&run.outcome).expect("outcome serializes")
+        );
+        return Ok(());
+    }
+    let out = &run.outcome;
+    println!(
+        "{} over {} ({}-way L2)",
+        out.l1_label, out.l2_label, out.assoc
+    );
+    println!(
+        "  refs {}  L1 miss {:.4}  L2 local miss {:.4}  global miss {:.4}",
+        out.hierarchy.processor_refs,
+        out.hierarchy.l1_miss_ratio(),
+        out.hierarchy.local_miss_ratio(),
+        out.hierarchy.global_miss_ratio()
+    );
+    for s in &out.strategies {
+        println!(
+            "  {:<24} hit probes {:.3}  miss probes {:.3}",
+            s.name,
+            s.probes.hit_mean(),
+            s.probes.miss_mean()
+        );
+    }
+    println!(
+        "  wall {:.2}s across {} segments{}",
+        run.manifest.total_wall_micros() as f64 / 1e6,
+        run.manifest.phases.len(),
+        match &opts.metrics {
+            Some(path) => format!(", {} snapshots -> {path}", run.snapshots),
+            None => String::new(),
+        }
+    );
+    Ok(())
 }
 
 #[derive(Clone, Copy)]
@@ -206,15 +324,28 @@ fn run_one(name: &str, p: &ExperimentParams, out: Output) -> Result<(), String> 
         }
         "all" => {
             for name in [
-                "table1", "table2", "calibrate", "fig3", "fig4", "fig5", "fig6", "table4",
+                "table1",
+                "table2",
+                "calibrate",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "table4",
             ] {
                 run_one(name, p, out)?;
             }
         }
         "extensions" => {
             for name in [
-                "banked", "hashrehash", "warmth", "invalidation", "timing", "contention",
-                "deep", "policy",
+                "banked",
+                "hashrehash",
+                "warmth",
+                "invalidation",
+                "timing",
+                "contention",
+                "deep",
+                "policy",
             ] {
                 run_one(name, p, out)?;
             }
@@ -222,6 +353,15 @@ fn run_one(name: &str, p: &ExperimentParams, out: Output) -> Result<(), String> 
         other => return Err(format!("unknown experiment {other:?}\n{}", usage())),
     }
     Ok(())
+}
+
+/// For non-`run` experiments with `--metrics`: times the experiment as a
+/// manifest phase and appends one final JSONL line recording it.
+fn write_experiment_manifest(path: &str, manifest: &RunManifest) -> Result<(), String> {
+    let registry = seta_obs::MetricsRegistry::new();
+    let line = seta_obs::export::final_snapshot_line(&registry, 0, 0, manifest);
+    let mut f = BufWriter::new(File::create(path).map_err(|e| format!("create {path}: {e}"))?);
+    writeln!(f, "{line}").map_err(|e| format!("write {path}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -233,6 +373,15 @@ fn main() -> ExitCode {
         }
     };
     let p = params(&opts);
+    if opts.experiment == "run" {
+        return match run_instrumented(&p, &opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let out = if opts.json {
         Output::Json
     } else if opts.csv {
@@ -240,7 +389,18 @@ fn main() -> ExitCode {
     } else {
         Output::Text
     };
-    match run_one(&opts.experiment, &p, out) {
+    let mut manifest = RunManifest::new(env!("CARGO_PKG_VERSION"));
+    manifest.label("experiment", &opts.experiment);
+    manifest.label("scale", opts.scale);
+    manifest.label("seed", p.seed);
+    let result = manifest.time_phase(&opts.experiment.clone(), || {
+        run_one(&opts.experiment, &p, out)
+    });
+    let result = result.and_then(|()| match &opts.metrics {
+        Some(path) => write_experiment_manifest(path, &manifest),
+        None => Ok(()),
+    });
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("{e}");

@@ -7,11 +7,14 @@
 //! trace_tool stats    <in>
 //! trace_tool mattson  <in> [--block N] [--sets N] [--max-assoc N]
 //!
+//! Every command also accepts --metrics <out.jsonl> (write a final
+//! metrics/manifest snapshot) and --progress (heartbeat on stderr).
 //! Formats are chosen by extension: .din (Dinero), .seta (binary),
 //! anything else is the text format.
 //! ```
 
 use seta_cache::MattsonAnalyzer;
+use seta_obs::{labeled, MetricsRegistry, Progress, RunManifest};
 use seta_trace::format::{
     BinaryReader, BinaryWriter, DineroReader, DineroWriter, TextReader, TextWriter,
 };
@@ -19,7 +22,7 @@ use seta_trace::gen::{AtumLike, AtumLikeConfig};
 use seta_trace::stats::TraceStats;
 use seta_trace::TraceEvent;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -42,9 +45,66 @@ fn usage() -> String {
     "usage:\n  trace_tool generate <out> [--segments N] [--refs N] [--seed S]\n  \
      trace_tool convert <in> <out>\n  \
      trace_tool stats <in>\n  \
-     trace_tool mattson <in> [--block N] [--sets N] [--max-assoc N]\n\
+     trace_tool mattson <in> [--block N] [--sets N] [--max-assoc N]\n  \
+     trace_tool --version\n\
+     every command also accepts --metrics <out.jsonl> and --progress\n\
      formats by extension: .din (Dinero), .seta (binary), other (text)"
         .into()
+}
+
+/// Observability flags shared by every subcommand.
+#[derive(Debug, Default)]
+struct Obs {
+    metrics: Option<String>,
+    progress: bool,
+}
+
+impl Obs {
+    /// Consumes `--metrics`/`--progress` if `arg` is one of them; returns
+    /// whether the argument was handled.
+    fn consume(
+        &mut self,
+        arg: &str,
+        args: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--metrics" => {
+                self.metrics = Some(args.next().ok_or("--metrics needs a path")?);
+                Ok(true)
+            }
+            "--progress" => {
+                self.progress = true;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn heartbeat(&self, label: &str, total: Option<u64>) -> Option<Progress> {
+        self.progress.then(|| Progress::new(label, total))
+    }
+
+    /// Writes one final JSONL snapshot if `--metrics` was given.
+    fn emit(
+        &self,
+        registry: &MetricsRegistry,
+        refs: u64,
+        manifest: &RunManifest,
+    ) -> Result<(), String> {
+        let Some(path) = &self.metrics else {
+            return Ok(());
+        };
+        let line = seta_obs::export::final_snapshot_line(registry, 0, refs, manifest);
+        let mut f = BufWriter::new(File::create(path).map_err(|e| format!("create {path}: {e}"))?);
+        writeln!(f, "{line}").map_err(|e| format!("write {path}: {e}"))
+    }
+}
+
+fn manifest_for(command: &str) -> RunManifest {
+    let mut m = RunManifest::new(env!("CARGO_PKG_VERSION"));
+    m.label("tool", "trace_tool");
+    m.label("command", command);
+    m
 }
 
 /// Reads a whole trace file into memory (these tools are offline).
@@ -87,7 +147,11 @@ fn generate(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     cfg.segments = 2;
     cfg.refs_per_segment = 100_000;
     let mut seed = 42u64;
+    let mut obs = Obs::default();
     while let Some(a) = args.next() {
+        if obs.consume(&a, &mut args)? {
+            continue;
+        }
         match a.as_str() {
             "--segments" => cfg.segments = parse_u64(&mut args, "--segments")? as usize,
             "--refs" => cfg.refs_per_segment = parse_u64(&mut args, "--refs")?,
@@ -96,8 +160,28 @@ fn generate(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         }
     }
     cfg.validate()?;
-    let events: Vec<TraceEvent> = AtumLike::new(cfg.clone(), seed).collect();
-    write_events(Path::new(&out), &events)?;
+    let mut manifest = manifest_for("generate");
+    manifest.label("segments", cfg.segments);
+    manifest.label("refs_per_segment", cfg.refs_per_segment);
+    let mut heartbeat = obs.heartbeat("generate", Some(cfg.segments as u64 * cfg.refs_per_segment));
+    let events: Vec<TraceEvent> = manifest.time_phase("generate", || {
+        AtumLike::new(cfg.clone(), seed)
+            .inspect(|_| {
+                if let Some(p) = heartbeat.as_mut() {
+                    p.tick(1);
+                }
+            })
+            .collect()
+    });
+    manifest.time_phase("write", || write_events(Path::new(&out), &events))?;
+    manifest.set_trace(&out, events.len() as u64, seed);
+    if let Some(p) = heartbeat.as_mut() {
+        p.finish();
+    }
+    let mut registry = MetricsRegistry::new();
+    let h = registry.counter("events_total");
+    registry.set_counter(h, events.len() as u64);
+    obs.emit(&registry, events.len() as u64, &manifest)?;
     println!(
         "wrote {} events ({} segments x {} refs, seed {seed}) to {out}",
         events.len(),
@@ -110,21 +194,70 @@ fn generate(mut args: impl Iterator<Item = String>) -> Result<(), String> {
 fn convert(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let input = args.next().ok_or_else(usage)?;
     let output = args.next().ok_or_else(usage)?;
-    let events = read_events(Path::new(&input))?;
-    write_events(Path::new(&output), &events)?;
+    let mut obs = Obs::default();
+    while let Some(a) = args.next() {
+        if obs.consume(&a, &mut args)? {
+            continue;
+        }
+        return Err(format!("unknown argument {a:?}\n{}", usage()));
+    }
+    let mut manifest = manifest_for("convert");
+    let events = manifest.time_phase("read", || read_events(Path::new(&input)))?;
+    manifest.time_phase("write", || write_events(Path::new(&output), &events))?;
+    manifest.set_trace(&input, events.len() as u64, 0);
+    let mut registry = MetricsRegistry::new();
+    let h = registry.counter("events_total");
+    registry.set_counter(h, events.len() as u64);
+    obs.emit(&registry, events.len() as u64, &manifest)?;
     println!("converted {} events: {input} -> {output}", events.len());
     Ok(())
 }
 
 fn stats(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let input = args.next().ok_or_else(usage)?;
-    let events = read_events(Path::new(&input))?;
-    let s = TraceStats::from_events(events.iter().copied());
+    let mut obs = Obs::default();
+    while let Some(a) = args.next() {
+        if obs.consume(&a, &mut args)? {
+            continue;
+        }
+        return Err(format!("unknown argument {a:?}\n{}", usage()));
+    }
+    let mut manifest = manifest_for("stats");
+    let events = manifest.time_phase("read", || read_events(Path::new(&input)))?;
+    let mut heartbeat = obs.heartbeat("stats", Some(events.len() as u64));
+    let s = manifest.time_phase("analyze", || {
+        TraceStats::from_events(events.iter().copied().inspect(|_| {
+            if let Some(p) = heartbeat.as_mut() {
+                p.tick(1);
+            }
+        }))
+    });
+    manifest.set_trace(&input, events.len() as u64, 0);
+    if let Some(p) = heartbeat.as_mut() {
+        p.finish();
+    }
+    let mut registry = MetricsRegistry::new();
+    for (name, value) in [
+        ("refs_total", s.total_refs()),
+        ("reads_total", s.reads),
+        ("writes_total", s.writes),
+        ("ifetches_total", s.ifetches),
+        ("flushes_total", s.flushes),
+        ("unique_addrs", s.unique_addrs() as u64),
+    ] {
+        let h = registry.counter(name);
+        registry.set_counter(h, value);
+    }
+    obs.emit(&registry, s.total_refs(), &manifest)?;
     println!("{input}:");
     println!("  references      {}", s.total_refs());
     println!("  reads           {}", s.reads);
     println!("  writes          {} ({:.3})", s.writes, s.write_fraction());
-    println!("  ifetches        {} ({:.3})", s.ifetches, s.ifetch_fraction());
+    println!(
+        "  ifetches        {} ({:.3})",
+        s.ifetches,
+        s.ifetch_fraction()
+    );
     println!("  flushes         {}", s.flushes);
     println!("  unique addrs    {}", s.unique_addrs());
     for block in [16u64, 32, 64] {
@@ -141,7 +274,11 @@ fn mattson(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut block = 32u64;
     let mut sets = 2048u64;
     let mut max_assoc = 16u32;
+    let mut obs = Obs::default();
     while let Some(a) = args.next() {
+        if obs.consume(&a, &mut args)? {
+            continue;
+        }
         match a.as_str() {
             "--block" => block = parse_u64(&mut args, "--block")?,
             "--sets" => sets = parse_u64(&mut args, "--sets")?,
@@ -155,34 +292,64 @@ fn mattson(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     if max_assoc == 0 {
         return Err("--max-assoc must be positive".into());
     }
-    let events = read_events(Path::new(&input))?;
+    let mut manifest = manifest_for("mattson");
+    manifest.label("block", block);
+    manifest.label("sets", sets);
+    let events = manifest.time_phase("read", || read_events(Path::new(&input)))?;
+    let mut heartbeat = obs.heartbeat("mattson", Some(events.len() as u64));
     let mut analyzer = MattsonAnalyzer::new(block, sets);
-    for e in &events {
-        match e {
-            TraceEvent::Ref(r) => {
-                analyzer.observe(r.addr);
+    manifest.time_phase("analyze", || {
+        for e in &events {
+            match e {
+                TraceEvent::Ref(r) => {
+                    analyzer.observe(r.addr);
+                }
+                TraceEvent::Flush => analyzer.flush(),
             }
-            TraceEvent::Flush => analyzer.flush(),
+            if let Some(p) = heartbeat.as_mut() {
+                p.tick(1);
+            }
         }
+    });
+    manifest.set_trace(&input, events.len() as u64, 0);
+    if let Some(p) = heartbeat.as_mut() {
+        p.finish();
     }
     println!(
         "{input}: one-pass LRU stack analysis ({sets} sets x {block} B blocks, \
          capacity = assoc x {} KiB)",
         sets * block / 1024
     );
-    println!("  refs {}   cold misses {}", analyzer.refs(), analyzer.cold_misses());
+    println!(
+        "  refs {}   cold misses {}",
+        analyzer.refs(),
+        analyzer.cold_misses()
+    );
+    let mut registry = MetricsRegistry::new();
+    for (name, value) in [
+        ("refs_total", analyzer.refs()),
+        ("cold_misses_total", analyzer.cold_misses()),
+    ] {
+        let h = registry.counter(name);
+        registry.set_counter(h, value);
+    }
     let mut assoc = 1u32;
     while assoc <= max_assoc {
-        println!(
-            "  {assoc:>3}-way: miss ratio {:.4}",
-            analyzer.miss_ratio(assoc)
-        );
+        let ratio = analyzer.miss_ratio(assoc);
+        let g = registry.gauge(&labeled("miss_ratio", "assoc", &assoc.to_string()));
+        registry.set_gauge(g, ratio);
+        println!("  {assoc:>3}-way: miss ratio {ratio:.4}");
         assoc *= 2;
     }
+    obs.emit(&registry, analyzer.refs(), &manifest)?;
     let f = analyzer.f_distribution(4.min(max_assoc));
     if !f.is_empty() {
         let rendered: Vec<String> = f.iter().map(|v| format!("{v:.3}")).collect();
-        println!("  f_i at {}-way: [{}]", 4.min(max_assoc), rendered.join(", "));
+        println!(
+            "  f_i at {}-way: [{}]",
+            4.min(max_assoc),
+            rendered.join(", ")
+        );
     }
     Ok(())
 }
@@ -201,6 +368,10 @@ fn main() -> ExitCode {
         "convert" => convert(args),
         "stats" => stats(args),
         "mattson" => mattson(args),
+        "--version" | "-V" => {
+            println!("trace_tool {}", env!("CARGO_PKG_VERSION"));
+            return ExitCode::SUCCESS;
+        }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     };
     match result {

@@ -1,0 +1,148 @@
+//! CLI contract tests for the `paper_tables` and `trace_tool` binaries:
+//! unknown arguments fail with usage on stderr, `--version` succeeds, and
+//! `--metrics` emits parseable JSONL.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn paper_tables(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_paper_tables"))
+        .args(args)
+        .output()
+        .expect("spawn paper_tables")
+}
+
+fn trace_tool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_trace_tool"))
+        .args(args)
+        .output()
+        .expect("spawn trace_tool")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("seta-cli-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn paper_tables_version_succeeds() {
+    let out = paper_tables(&["--version"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("paper_tables "));
+}
+
+#[test]
+fn paper_tables_rejects_unknown_flag_with_usage() {
+    let out = paper_tables(&["fig6", "--bogus"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown argument"));
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn paper_tables_rejects_unknown_experiment() {
+    let out = paper_tables(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn paper_tables_run_writes_parseable_jsonl_metrics() {
+    let metrics = tmp("run.jsonl");
+    let out = paper_tables(&[
+        "run",
+        "--scale",
+        "40",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let _ = std::fs::remove_file(&metrics);
+    let mut lines = 0;
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("line parses");
+        assert!(v["counters"].as_object().is_some());
+        lines += 1;
+    }
+    assert!(lines >= 1);
+    let last: serde_json::Value = serde_json::from_str(text.lines().last().unwrap()).unwrap();
+    assert_eq!(last["final"].as_bool(), Some(true));
+    assert!(last["manifest"]["trace"]["source"]
+        .as_str()
+        .unwrap()
+        .starts_with("synthetic:"));
+}
+
+#[test]
+fn trace_tool_version_succeeds() {
+    let out = trace_tool(&["--version"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("trace_tool "));
+}
+
+#[test]
+fn trace_tool_rejects_unknown_args_in_every_command() {
+    for args in [
+        vec!["generate", "/tmp/never-written", "--bogus"],
+        vec!["convert", "a", "b", "extra"],
+        vec!["stats", "a", "--bogus"],
+        vec!["mattson", "a", "--frob", "3"],
+    ] {
+        let out = trace_tool(&args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("unknown argument"), "{args:?}: {err}");
+        assert!(err.contains("usage:"), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn trace_tool_generate_and_stats_emit_metrics() {
+    let trace = tmp("trace.seta");
+    let metrics = tmp("stats.jsonl");
+    let out = trace_tool(&[
+        "generate",
+        trace.to_str().unwrap(),
+        "--segments",
+        "2",
+        "--refs",
+        "2000",
+        "--seed",
+        "9",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = trace_tool(&[
+        "stats",
+        trace.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+    let v: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+    assert_eq!(v["counters"]["refs_total"].as_u64(), Some(4000));
+    assert_eq!(
+        v["manifest"]["labels"][1],
+        serde_json::json!(["command", "stats"])
+    );
+}

@@ -229,10 +229,11 @@ impl Cache {
     /// Iterates over the block-aligned addresses of all resident blocks.
     pub fn resident_addrs(&self) -> impl Iterator<Item = u64> + '_ {
         let assoc = self.config.associativity() as usize;
-        self.frames.iter().enumerate().filter_map(move |(i, f)| {
-            f.valid
-                .then(|| self.mapper.block_addr(f.tag, (i / assoc) as u64))
-        })
+        self.frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.valid)
+            .map(move |(i, f)| self.mapper.block_addr(f.tag, (i / assoc) as u64))
     }
 }
 
@@ -373,7 +374,7 @@ mod tests {
             c.access(a, false);
         }
         c.access(0x000, false); // refresh 0x000
-        // Victim order should now be 0x100, 0x200, 0x300, 0x000.
+                                // Victim order should now be 0x100, 0x200, 0x300, 0x000.
         assert_eq!(c.access(0x400, false).evicted.unwrap().addr, 0x100);
         assert_eq!(c.access(0x500, false).evicted.unwrap().addr, 0x200);
         assert_eq!(c.access(0x600, false).evicted.unwrap().addr, 0x300);

@@ -148,9 +148,9 @@ impl CacheConfig {
     /// The paper's configuration label, e.g. `16K-32` for 16 KiB capacity
     /// with 32-byte blocks.
     pub fn label(&self) -> String {
-        let size = if self.size_bytes % (1024 * 1024) == 0 {
+        let size = if self.size_bytes.is_multiple_of(1024 * 1024) {
             format!("{}M", self.size_bytes / (1024 * 1024))
-        } else if self.size_bytes % 1024 == 0 {
+        } else if self.size_bytes.is_multiple_of(1024) {
             format!("{}K", self.size_bytes / 1024)
         } else {
             format!("{}B", self.size_bytes)
@@ -191,7 +191,10 @@ mod tests {
 
     #[test]
     fn labels_match_paper_style() {
-        assert_eq!(CacheConfig::new(16 * 1024, 16, 1).unwrap().label(), "16K-16");
+        assert_eq!(
+            CacheConfig::new(16 * 1024, 16, 1).unwrap().label(),
+            "16K-16"
+        );
         assert_eq!(
             CacheConfig::new(256 * 1024, 64, 4).unwrap().label(),
             "256K-64"
@@ -212,15 +215,21 @@ mod tests {
     fn rejects_bad_parameters() {
         assert!(matches!(
             CacheConfig::new(0, 16, 1),
-            Err(CacheConfigError::Zero { field: "size_bytes" })
+            Err(CacheConfigError::Zero {
+                field: "size_bytes"
+            })
         ));
         assert!(matches!(
             CacheConfig::new(1024, 0, 1),
-            Err(CacheConfigError::Zero { field: "block_size" })
+            Err(CacheConfigError::Zero {
+                field: "block_size"
+            })
         ));
         assert!(matches!(
             CacheConfig::new(1024, 16, 0),
-            Err(CacheConfigError::Zero { field: "associativity" })
+            Err(CacheConfigError::Zero {
+                field: "associativity"
+            })
         ));
         assert!(matches!(
             CacheConfig::new(1000, 16, 1),

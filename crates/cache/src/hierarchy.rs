@@ -25,8 +25,8 @@ use crate::block::Frame;
 use crate::cache::Cache;
 use crate::config::CacheConfig;
 use crate::stats::CacheStats;
-use seta_trace::{TraceEvent, TraceRecord};
 use serde::{Deserialize, Serialize};
+use seta_trace::{TraceEvent, TraceRecord};
 
 /// The kind of a level-two request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -78,6 +78,28 @@ pub trait L2Observer {
     /// Called once per L2 request, before the L2 is mutated.
     fn on_l2_request(&mut self, req: &L2RequestView<'_>);
 }
+
+/// Lightweight event hook for metrics collection, separate from
+/// [`L2Observer`]: observers get the full pre-access set state for probe
+/// pricing, while a sink only sees cheap post-access outcomes — enough
+/// for counters and rate heartbeats without borrowing set internals.
+///
+/// All methods default to no-ops and the unit sink `()` implements the
+/// trait, so `step(...)` is exactly `step_metered(..., &mut ())`;
+/// monomorphization keeps the un-metered path free of any sink cost.
+pub trait MetricsSink {
+    /// Called once per processor reference, with its L1 outcome.
+    fn on_ref(&mut self, _l1_hit: bool) {}
+
+    /// Called once per L2 request, with its kind and outcome.
+    fn on_l2(&mut self, _kind: L2RequestKind, _hit: bool) {}
+
+    /// Called once per flush (segment boundary).
+    fn on_flush(&mut self) {}
+}
+
+/// The do-nothing sink, for un-metered runs.
+impl MetricsSink for () {}
 
 /// The do-nothing observer, for runs that only need miss ratios.
 impl L2Observer for () {
@@ -292,10 +314,22 @@ impl TwoLevel {
     /// Services one processor reference, notifying `observer` of every L2
     /// request it generates.
     pub fn step<O: L2Observer>(&mut self, record: &TraceRecord, observer: &mut O) {
+        self.step_metered(record, observer, &mut ());
+    }
+
+    /// [`step`](Self::step) with a [`MetricsSink`] receiving the L1 and
+    /// L2 outcomes.
+    pub fn step_metered<O: L2Observer, M: MetricsSink>(
+        &mut self,
+        record: &TraceRecord,
+        observer: &mut O,
+        sink: &mut M,
+    ) {
         self.stats.processor_refs += 1;
         let is_write = record.kind.is_write();
         let l1_set = self.l1.mapper().set_of(record.addr);
         let r1 = self.l1.access(record.addr, is_write);
+        sink.on_ref(r1.hit);
         if r1.hit {
             return;
         }
@@ -308,33 +342,37 @@ impl TwoLevel {
         // Read-in first (per Table 3: "the new block is first obtained via a
         // read-in request, then a write-back is issued").
         let read_addr = record.block_addr(self.l1.config().block_size());
-        let l2_way = self.issue(L2RequestKind::ReadIn, read_addr, None, observer);
+        let l2_way = self.issue(L2RequestKind::ReadIn, read_addr, None, observer, sink);
         self.hints[frame_idx] = Some(l2_way);
 
         if let Some(victim) = r1.evicted {
             if victim.dirty {
-                self.issue(L2RequestKind::WriteBack, victim.addr, victim_hint, observer);
+                self.issue(
+                    L2RequestKind::WriteBack,
+                    victim.addr,
+                    victim_hint,
+                    observer,
+                    sink,
+                );
             }
         }
     }
 
     /// Issues one L2 request: observes the pre-state, then performs the
     /// access. Returns the way the block occupies afterwards.
-    fn issue<O: L2Observer>(
+    fn issue<O: L2Observer, M: MetricsSink>(
         &mut self,
         kind: L2RequestKind,
         addr: u64,
         hint: Option<u8>,
         observer: &mut O,
+        sink: &mut M,
     ) -> u8 {
         let set = self.l2.mapper().set_of(addr);
         let tag = self.l2.mapper().tag_of(addr);
         let frames = self.l2.set_frames(set);
         let order = self.l2.set_order(set);
-        let hit_way = frames
-            .iter()
-            .position(|f| f.matches(tag))
-            .map(|w| w as u8);
+        let hit_way = frames.iter().position(|f| f.matches(tag)).map(|w| w as u8);
         let mru_distance =
             hit_way.map(|w| order.iter().position(|&o| o == w).expect("permutation"));
         let hint_correct = match kind {
@@ -357,6 +395,7 @@ impl TwoLevel {
 
         let is_write = kind == L2RequestKind::WriteBack;
         let result = self.l2.access(addr, is_write);
+        sink.on_l2(kind, result.hit);
         match kind {
             L2RequestKind::ReadIn => {
                 self.stats.read_ins += 1;
@@ -389,9 +428,22 @@ impl TwoLevel {
 
     /// Processes one trace event.
     pub fn process<O: L2Observer>(&mut self, event: &TraceEvent, observer: &mut O) {
+        self.process_metered(event, observer, &mut ());
+    }
+
+    /// [`process`](Self::process) with a [`MetricsSink`].
+    pub fn process_metered<O: L2Observer, M: MetricsSink>(
+        &mut self,
+        event: &TraceEvent,
+        observer: &mut O,
+        sink: &mut M,
+    ) {
         match event {
-            TraceEvent::Ref(r) => self.step(r, observer),
-            TraceEvent::Flush => self.flush(),
+            TraceEvent::Ref(r) => self.step_metered(r, observer, sink),
+            TraceEvent::Flush => {
+                self.flush();
+                sink.on_flush();
+            }
         }
     }
 
@@ -401,8 +453,19 @@ impl TwoLevel {
         I: IntoIterator<Item = TraceEvent>,
         O: L2Observer,
     {
+        self.run_metered(events, observer, &mut ());
+    }
+
+    /// [`run`](Self::run) with a [`MetricsSink`] receiving per-reference,
+    /// per-request and per-flush events alongside the observer.
+    pub fn run_metered<I, O, M>(&mut self, events: I, observer: &mut O, sink: &mut M)
+    where
+        I: IntoIterator<Item = TraceEvent>,
+        O: L2Observer,
+        M: MetricsSink,
+    {
         for e in events {
-            self.process(&e, observer);
+            self.process_metered(&e, observer, sink);
         }
     }
 
@@ -496,10 +559,7 @@ mod tests {
         let mut rec = Recorder::default();
         h.step(&TraceRecord::read(0x000), &mut rec);
         h.step(&TraceRecord::read(0x100), &mut rec);
-        assert!(rec
-            .events
-            .iter()
-            .all(|(k, ..)| *k == L2RequestKind::ReadIn));
+        assert!(rec.events.iter().all(|(k, ..)| *k == L2RequestKind::ReadIn));
     }
 
     #[test]
@@ -548,7 +608,7 @@ mod tests {
         let mut h = hierarchy();
         h.step(&TraceRecord::read(0x000), &mut ());
         h.step(&TraceRecord::read(0x400), &mut ()); // same L1 set (256 B L1), different L2 set? 0x400/16=64, L2 has 16 sets → set 0 again
-        // Evict 0x000 from L1 (clean), then re-read it: L1 miss, L2 hit.
+                                                    // Evict 0x000 from L1 (clean), then re-read it: L1 miss, L2 hit.
         h.step(&TraceRecord::read(0x000), &mut ());
         let s = h.stats();
         assert_eq!(s.read_ins, 3);
@@ -592,7 +652,7 @@ mod tests {
         h.step(&TraceRecord::write(0x010), &mut rec);
         // Read-in is for the 16 B L1 block; L2 sees its 64 B container.
         h.step(&TraceRecord::read(0x020), &mut rec); // L1 set differs? 0x20/16=2 → different L1 set, miss
-        // Second read-in falls in the same 64 B L2 block → L2 hit.
+                                                     // Second read-in falls in the same 64 B L2 block → L2 hit.
         assert_eq!(h.stats().read_ins, 2);
         assert_eq!(h.stats().read_in_hits, 1);
     }
@@ -669,13 +729,80 @@ mod tests {
         assert_eq!(s.hint_accuracy(), 0.0);
     }
 
+    /// Counts sink callbacks for comparison against the stats block.
+    #[derive(Default)]
+    struct CountingSink {
+        refs: u64,
+        l1_hits: u64,
+        read_ins: u64,
+        read_in_hits: u64,
+        write_backs: u64,
+        flushes: u64,
+    }
+
+    impl MetricsSink for CountingSink {
+        fn on_ref(&mut self, l1_hit: bool) {
+            self.refs += 1;
+            if l1_hit {
+                self.l1_hits += 1;
+            }
+        }
+
+        fn on_l2(&mut self, kind: L2RequestKind, hit: bool) {
+            match kind {
+                L2RequestKind::ReadIn => {
+                    self.read_ins += 1;
+                    if hit {
+                        self.read_in_hits += 1;
+                    }
+                }
+                L2RequestKind::WriteBack => self.write_backs += 1,
+            }
+        }
+
+        fn on_flush(&mut self) {
+            self.flushes += 1;
+        }
+    }
+
+    #[test]
+    fn metrics_sink_agrees_with_stats() {
+        let mut h = hierarchy();
+        let mut sink = CountingSink::default();
+        let events = vec![
+            TraceEvent::Ref(TraceRecord::write(0x000)),
+            TraceEvent::Ref(TraceRecord::read(0x100)), // evicts dirty 0x000
+            TraceEvent::Ref(TraceRecord::read(0x100)), // L1 hit
+            TraceEvent::Flush,
+            TraceEvent::Ref(TraceRecord::read(0x000)),
+        ];
+        h.run_metered(events, &mut (), &mut sink);
+        let s = h.stats();
+        assert_eq!(sink.refs, s.processor_refs);
+        assert_eq!(sink.refs - sink.l1_hits, s.read_ins);
+        assert_eq!(sink.read_ins, s.read_ins);
+        assert_eq!(sink.read_in_hits, s.read_in_hits);
+        assert_eq!(sink.write_backs, s.write_backs);
+        assert_eq!(sink.flushes, s.flushes);
+        assert_eq!(sink.l1_hits, 1);
+    }
+
+    #[test]
+    fn unmetered_paths_match_metered_with_unit_sink() {
+        let events: Vec<TraceEvent> = (0..64u64)
+            .map(|i| TraceEvent::Ref(TraceRecord::write(i * 48)))
+            .collect();
+        let mut a = hierarchy();
+        a.run(events.clone(), &mut ());
+        let mut b = hierarchy();
+        b.run_metered(events, &mut (), &mut ());
+        assert_eq!(a.stats(), b.stats());
+    }
+
     #[test]
     fn ifetch_is_not_a_write() {
         let mut h = hierarchy();
-        h.step(
-            &TraceRecord::new(0x40, AccessKind::InstrFetch),
-            &mut (),
-        );
+        h.step(&TraceRecord::new(0x40, AccessKind::InstrFetch), &mut ());
         h.step(&TraceRecord::read(0x140), &mut ()); // evict clean block
         assert_eq!(h.stats().write_backs, 0);
     }

@@ -45,17 +45,19 @@ pub mod hierarchy;
 pub mod mattson;
 pub mod multilevel;
 pub mod replacement;
-pub mod swap_two_way;
 pub mod stats;
+pub mod swap_two_way;
 
 pub use addr::AddressMapper;
 pub use block::Frame;
 pub use cache::{AccessResult, Cache, EvictedBlock};
 pub use config::{CacheConfig, CacheConfigError};
 pub use hash_rehash::{HashRehashCache, HrAccess};
+pub use hierarchy::{
+    L2Observer, L2RequestKind, L2RequestView, MetricsSink, TwoLevel, TwoLevelStats,
+};
 pub use mattson::MattsonAnalyzer;
 pub use multilevel::{LevelTraffic, MultiLevel, MultiLevelObserver};
-pub use hierarchy::{L2Observer, L2RequestKind, L2RequestView, TwoLevel, TwoLevelStats};
 pub use replacement::Policy;
-pub use swap_two_way::{SwapAccess, SwapTwoWay};
 pub use stats::CacheStats;
+pub use swap_two_way::{SwapAccess, SwapTwoWay};

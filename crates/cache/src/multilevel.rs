@@ -17,8 +17,8 @@ use crate::block::Frame;
 use crate::cache::Cache;
 use crate::config::CacheConfig;
 use crate::hierarchy::{L2RequestKind, L2RequestView};
-use seta_trace::{TraceEvent, TraceRecord};
 use serde::{Deserialize, Serialize};
+use seta_trace::{TraceEvent, TraceRecord};
 
 /// Traffic counters for one level's incoming requests (levels below 0).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]

@@ -61,7 +61,10 @@ impl ReplacementState {
     /// bytes; the paper studies associativities up to 16).
     pub fn new(policy: Policy, num_sets: usize, assoc: usize, seed: u64) -> Self {
         assert!(assoc > 0, "associativity must be positive");
-        assert!(assoc <= 256, "associativity {assoc} exceeds supported maximum 256");
+        assert!(
+            assoc <= 256,
+            "associativity {assoc} exceeds supported maximum 256"
+        );
         let mut order = Vec::with_capacity(num_sets * assoc);
         for _ in 0..num_sets {
             order.extend((0..assoc as u16).map(|w| w as u8));
@@ -133,10 +136,9 @@ impl ReplacementState {
             return way as u8;
         }
         match self.policy {
-            Policy::Lru | Policy::Fifo => *self
-                .order(set)
-                .last()
-                .expect("associativity is positive"),
+            Policy::Lru | Policy::Fifo => {
+                *self.order(set).last().expect("associativity is positive")
+            }
             Policy::Random => self.rng.gen_range(0..self.assoc) as u8,
         }
     }

@@ -128,6 +128,24 @@ impl std::ops::Add for CacheStats {
     }
 }
 
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, other: CacheStats) {
+        *self = *self + other;
+    }
+}
+
+impl std::iter::Sum for CacheStats {
+    fn sum<I: Iterator<Item = CacheStats>>(iter: I) -> CacheStats {
+        iter.fold(CacheStats::new(), |acc, s| acc + s)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a CacheStats> for CacheStats {
+    fn sum<I: Iterator<Item = &'a CacheStats>>(iter: I) -> CacheStats {
+        iter.copied().sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +193,36 @@ mod tests {
         assert_eq!(c.accesses(), 2);
         assert_eq!(c.hits(), 1);
         assert_eq!(c.dirty_evictions(), 1);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let mut a = CacheStats::new();
+        a.record_access(true, false);
+        let mut b = CacheStats::new();
+        b.record_access(false, true);
+        b.record_eviction(false);
+        let sum = a + b;
+        a += b;
+        assert_eq!(a, sum);
+    }
+
+    #[test]
+    fn sum_over_iterators() {
+        let parts: Vec<CacheStats> = (0..4)
+            .map(|i| {
+                let mut s = CacheStats::new();
+                s.record_access(i % 2 == 0, false);
+                s
+            })
+            .collect();
+        let by_value: CacheStats = parts.iter().copied().sum();
+        let by_ref: CacheStats = parts.iter().sum();
+        assert_eq!(by_value, by_ref);
+        assert_eq!(by_value.accesses(), 4);
+        assert_eq!(by_value.hits(), 2);
+        let empty: CacheStats = std::iter::empty::<CacheStats>().sum();
+        assert_eq!(empty, CacheStats::new());
     }
 
     #[test]

@@ -202,7 +202,11 @@ mod tests {
         let rho = bus.utilization(n, mr / t);
         assert!(rho < 1.0, "stable root keeps the bus below saturation");
         let residence = bus.residence_ns(rho).expect("below saturation");
-        assert!((t - (hit + mr * residence)).abs() < 1e-6, "t={t}, rhs={}", hit + mr * residence);
+        assert!(
+            (t - (hit + mr * residence)).abs() < 1e-6,
+            "t={t}, rhs={}",
+            hit + mr * residence
+        );
     }
 
     #[test]

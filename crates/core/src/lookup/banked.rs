@@ -147,7 +147,11 @@ mod tests {
         let v = view();
         let banked = Banked::new(8, ScanOrder::Frame);
         for tag in 9u64..19 {
-            assert_eq!(banked.lookup(&v, tag), Traditional.lookup(&v, tag), "tag {tag}");
+            assert_eq!(
+                banked.lookup(&v, tag),
+                Traditional.lookup(&v, tag),
+                "tag {tag}"
+            );
         }
     }
 
@@ -156,7 +160,11 @@ mod tests {
         let v = view();
         let banked = Banked::new(1, ScanOrder::Mru);
         for tag in 9u64..19 {
-            assert_eq!(banked.lookup(&v, tag), Mru::full().lookup(&v, tag), "tag {tag}");
+            assert_eq!(
+                banked.lookup(&v, tag),
+                Mru::full().lookup(&v, tag),
+                "tag {tag}"
+            );
         }
     }
 

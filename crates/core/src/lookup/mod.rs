@@ -105,8 +105,8 @@ mod tests {
             }
             // Make tags unique per set (cache invariant).
             let mut tags = tags;
-            for i in 0..8 {
-                tags[i] = (tags[i] << 3) | i as u64;
+            for (i, t) in tags.iter_mut().enumerate() {
+                *t = (*t << 3) | i as u64;
             }
             let view = SetView::from_parts(&tags, &valid, &order);
             let oracle = view.matching_way(probe_tag);
@@ -127,8 +127,8 @@ mod tests {
             probe_tag in 0u64..0x10000,
         ) {
             let mut tags = tags;
-            for i in 0..8 {
-                tags[i] = (tags[i] << 3) | i as u64;
+            for (i, t) in tags.iter_mut().enumerate() {
+                *t = (*t << 3) | i as u64;
             }
             let order: Vec<u8> = (0..8).collect();
             let view = SetView::from_parts(&tags, &[true; 8], &order);

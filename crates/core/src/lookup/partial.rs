@@ -81,7 +81,10 @@ impl PartialCompare {
     ///
     /// Panics if `tag_bits` is 0 or exceeds 64, or `subsets` is 0.
     pub fn new(tag_bits: u32, subsets: u32, transform: TransformKind) -> Self {
-        assert!(tag_bits >= 1 && tag_bits <= 64, "tag width {tag_bits} out of 1..=64");
+        assert!(
+            (1..=64).contains(&tag_bits),
+            "tag width {tag_bits} out of 1..=64"
+        );
         assert!(subsets >= 1, "at least one subset is required");
         PartialCompare {
             tag_bits,
@@ -113,7 +116,7 @@ impl PartialCompare {
     /// would be zero (tag too narrow for that many concurrent compares).
     pub fn k_for(&self, ways: usize) -> u32 {
         assert!(
-            ways as u32 % self.subsets == 0,
+            (ways as u32).is_multiple_of(self.subsets),
             "{} subsets do not divide {} ways",
             self.subsets,
             ways
@@ -217,11 +220,8 @@ mod tests {
 
     #[test]
     fn hit_with_no_false_matches_costs_two() {
-        let view = SetView::from_parts(
-            &[0x1111, 0x2222, 0x3333, 0x4444],
-            &[true; 4],
-            &[0, 1, 2, 3],
-        );
+        let view =
+            SetView::from_parts(&[0x1111, 0x2222, 0x3333, 0x4444], &[true; 4], &[0, 1, 2, 3]);
         let r = plain(1).lookup(&view, 0x3333);
         assert_eq!(r.hit_way, Some(2));
         assert_eq!(r.probes, 2);
@@ -231,11 +231,8 @@ mod tests {
     fn false_matches_cost_extra_full_compares() {
         // Incoming 0x4321: slot 0 reads nibble 0, slot 1 nibble 1, etc.
         // Every stored tag partially matches its own slot.
-        let view = SetView::from_parts(
-            &[0x0001, 0x0020, 0x0300, 0x4000],
-            &[true; 4],
-            &[0, 1, 2, 3],
-        );
+        let view =
+            SetView::from_parts(&[0x0001, 0x0020, 0x0300, 0x4000], &[true; 4], &[0, 1, 2, 3]);
         let r = plain(1).lookup(&view, 0x4321);
         assert_eq!(r.hit_way, None);
         assert_eq!(r.probes, 1 + 4, "one partial probe + four false matches");
@@ -243,11 +240,8 @@ mod tests {
 
     #[test]
     fn miss_with_no_partial_matches_costs_one_per_subset() {
-        let view = SetView::from_parts(
-            &[0x1111, 0x2222, 0x3333, 0x4444],
-            &[true; 4],
-            &[0, 1, 2, 3],
-        );
+        let view =
+            SetView::from_parts(&[0x1111, 0x2222, 0x3333, 0x4444], &[true; 4], &[0, 1, 2, 3]);
         assert_eq!(plain(1).lookup(&view, 0x5555).probes, 1);
         assert_eq!(plain(2).lookup(&view, 0x5555).probes, 2);
         assert_eq!(plain(4).lookup(&view, 0x5555).probes, 4);
@@ -256,11 +250,8 @@ mod tests {
     #[test]
     fn search_stops_at_the_hit_subset() {
         // 4 ways, 2 subsets: hit in the first subset never probes the second.
-        let view = SetView::from_parts(
-            &[0x00AA, 0x00BB, 0x00CC, 0x00DD],
-            &[true; 4],
-            &[0, 1, 2, 3],
-        );
+        let view =
+            SetView::from_parts(&[0x00AA, 0x00BB, 0x00CC, 0x00DD], &[true; 4], &[0, 1, 2, 3]);
         // k = 16*2/4 = 8. Subset 0 slots use bytes 0 and 1.
         let r = plain(2).lookup(&view, 0x00AA);
         assert_eq!(r.hit_way, Some(0));
@@ -269,11 +260,8 @@ mod tests {
 
     #[test]
     fn hit_in_second_subset_pays_first_subset_probes() {
-        let view = SetView::from_parts(
-            &[0x00AA, 0x00BB, 0x00CC, 0x00DD],
-            &[true; 4],
-            &[0, 1, 2, 3],
-        );
+        let view =
+            SetView::from_parts(&[0x00AA, 0x00BB, 0x00CC, 0x00DD], &[true; 4], &[0, 1, 2, 3]);
         let r = plain(2).lookup(&view, 0x00CC);
         assert_eq!(r.hit_way, Some(2));
         // Subset 0: partial probe (slot0: AA vs CC ✗; slot1 compares byte 1:
@@ -295,11 +283,8 @@ mod tests {
     fn swap_compares_low_bits_everywhere() {
         let p = PartialCompare::new(16, 1, TransformKind::Swap);
         // k=4 for 4 ways; all slots compare nibble 0.
-        let view = SetView::from_parts(
-            &[0x1235, 0x4565, 0x7895, 0x0005],
-            &[true; 4],
-            &[0, 1, 2, 3],
-        );
+        let view =
+            SetView::from_parts(&[0x1235, 0x4565, 0x7895, 0x0005], &[true; 4], &[0, 1, 2, 3]);
         // Incoming ends in 5 → every way partial-matches.
         let r = p.lookup(&view, 0xAAA5);
         assert_eq!(r.probes, 1 + 4);
@@ -317,11 +302,8 @@ mod tests {
             TransformKind::Swap,
         ] {
             let p = PartialCompare::new(16, 1, kind);
-            let view = SetView::from_parts(
-                &[0xBEE1, 0xBEE2, 0xBEE3, 0xBEE4],
-                &[true; 4],
-                &[0, 1, 2, 3],
-            );
+            let view =
+                SetView::from_parts(&[0xBEE1, 0xBEE2, 0xBEE3, 0xBEE4], &[true; 4], &[0, 1, 2, 3]);
             for (w, tag) in [(0u8, 0xBEE1u64), (1, 0xBEE2), (2, 0xBEE3), (3, 0xBEE4)] {
                 assert_eq!(p.lookup(&view, tag).hit_way, Some(w), "{kind}");
             }

@@ -49,7 +49,10 @@ impl SetView {
     pub fn from_parts(tags: &[u64], valid: &[bool], order: &[u8]) -> Self {
         let ways = tags.len();
         assert!(ways > 0, "a set has at least one way");
-        assert!(ways <= MAX_ASSOC, "associativity {ways} exceeds MAX_ASSOC {MAX_ASSOC}");
+        assert!(
+            ways <= MAX_ASSOC,
+            "associativity {ways} exceeds MAX_ASSOC {MAX_ASSOC}"
+        );
         assert_eq!(valid.len(), ways, "valid mask length mismatch");
         assert_eq!(order.len(), ways, "order length mismatch");
         let mut seen = [false; MAX_ASSOC];
@@ -160,7 +163,10 @@ mod tests {
         let valid = vec![true; MAX_ASSOC];
         let order: Vec<u8> = (0..MAX_ASSOC as u8).rev().collect();
         let v = SetView::from_parts(&tags, &valid, &order);
-        assert_eq!(v.matching_way(MAX_ASSOC as u64 - 1), Some(MAX_ASSOC as u8 - 1));
+        assert_eq!(
+            v.matching_way(MAX_ASSOC as u64 - 1),
+            Some(MAX_ASSOC as u8 - 1)
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub fn tag_mask(bits: u32) -> u64 {
 use tag_mask as mask;
 
 fn check_widths(tag_bits: u32, field_bits: u32) {
-    assert!(tag_bits >= 1 && tag_bits <= 64, "tag width {tag_bits} out of 1..=64");
+    assert!(
+        (1..=64).contains(&tag_bits),
+        "tag width {tag_bits} out of 1..=64"
+    );
     assert!(
         field_bits >= 1 && field_bits <= tag_bits,
         "field width {field_bits} out of 1..={tag_bits}"

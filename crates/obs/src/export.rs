@@ -1,0 +1,210 @@
+//! Exporters: JSON-lines snapshots and Prometheus text exposition.
+
+use crate::{Log2Histogram, MetricsRegistry, RunManifest};
+use serde_json::{Map, Value};
+
+fn histogram_value(h: &Log2Histogram) -> Value {
+    serde_json::json!({
+        "count": h.count,
+        "sum": h.sum,
+        "buckets": h.buckets.clone(),
+    })
+}
+
+/// Serializes one registry snapshot as a single compact JSON line
+/// (no trailing newline).
+///
+/// Every line carries the snapshot sequence number and the number of
+/// references processed so far, so a consumer can verify counters are
+/// monotone across lines. The final snapshot of a run (see
+/// [`final_snapshot_line`]) additionally embeds the manifest.
+pub fn snapshot_line(registry: &MetricsRegistry, seq: u64, refs: u64) -> String {
+    snapshot_value(registry, seq, refs, None)
+}
+
+/// Serializes the final snapshot, embedding the run manifest and a
+/// `"final": true` marker.
+pub fn final_snapshot_line(
+    registry: &MetricsRegistry,
+    seq: u64,
+    refs: u64,
+    manifest: &RunManifest,
+) -> String {
+    snapshot_value(registry, seq, refs, Some(manifest))
+}
+
+fn snapshot_value(
+    registry: &MetricsRegistry,
+    seq: u64,
+    refs: u64,
+    manifest: Option<&RunManifest>,
+) -> String {
+    let mut counters = Map::new();
+    for (name, v) in registry.counters() {
+        counters.insert(name.to_owned(), serde_json::json!(v));
+    }
+    let mut gauges = Map::new();
+    for (name, v) in registry.gauges() {
+        gauges.insert(name.to_owned(), serde_json::json!(v));
+    }
+    let mut histograms = Map::new();
+    for (name, h) in registry.histograms() {
+        histograms.insert(name.to_owned(), histogram_value(h));
+    }
+    let mut line = Map::new();
+    line.insert("seq".into(), serde_json::json!(seq));
+    line.insert("refs".into(), serde_json::json!(refs));
+    line.insert("counters".into(), Value::Object(counters));
+    line.insert("gauges".into(), Value::Object(gauges));
+    line.insert("histograms".into(), Value::Object(histograms));
+    if let Some(m) = manifest {
+        line.insert("final".into(), Value::Bool(true));
+        line.insert(
+            "manifest".into(),
+            serde_json::to_value(m).expect("manifest serializes"),
+        );
+    }
+    serde_json::to_string(&Value::Object(line)).expect("snapshot serializes")
+}
+
+/// Splits `name{label="x"}` into the base name and the label block.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// Renders the registry in the Prometheus text exposition format.
+///
+/// Registry names may carry a `{label="value"}` suffix (see
+/// [`crate::labeled`]); series sharing a base name are grouped under one
+/// `# TYPE` comment. Histograms render cumulative `_bucket` series with
+/// power-of-two `le` bounds plus `_sum` and `_count`.
+pub fn prometheus_text(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut typed_counters: Vec<&str> = Vec::new();
+    for (name, v) in registry.counters() {
+        let (base, labels) = split_labels(name);
+        if !typed_counters.contains(&base) {
+            out.push_str(&format!("# TYPE {base} counter\n"));
+            typed_counters.push(base);
+        }
+        out.push_str(&format!("{base}{labels} {v}\n"));
+    }
+    let mut typed_gauges: Vec<&str> = Vec::new();
+    for (name, v) in registry.gauges() {
+        let (base, labels) = split_labels(name);
+        if !typed_gauges.contains(&base) {
+            out.push_str(&format!("# TYPE {base} gauge\n"));
+            typed_gauges.push(base);
+        }
+        out.push_str(&format!("{base}{labels} {v}\n"));
+    }
+    let mut typed_hists: Vec<&str> = Vec::new();
+    for (name, h) in registry.histograms() {
+        let (base, labels) = split_labels(name);
+        if !typed_hists.contains(&base) {
+            out.push_str(&format!("# TYPE {base} histogram\n"));
+            typed_hists.push(base);
+        }
+        // `{a="b"}` → `{a="b",` so `le` joins any existing labels.
+        let prefix = if labels.is_empty() {
+            String::from("{")
+        } else {
+            format!("{},", &labels[..labels.len() - 1])
+        };
+        let mut cumulative = 0u64;
+        for (i, b) in h.buckets.iter().enumerate() {
+            cumulative += b;
+            out.push_str(&format!(
+                "{base}_bucket{prefix}le=\"{}\"}} {cumulative}\n",
+                Log2Histogram::bucket_upper_bound(i)
+            ));
+        }
+        out.push_str(&format!("{base}_bucket{prefix}le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{base}_sum{labels} {}\n", h.sum));
+        out.push_str(&format!("{base}_count{labels} {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeled;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter(&labeled("probes_total", "strategy", "mru"));
+        m.inc(c, 41);
+        let g = m.gauge("local_miss_ratio");
+        m.set_gauge(g, 0.125);
+        let h = m.histogram("probe_count");
+        for v in [1u64, 1, 2, 5] {
+            m.observe(h, v);
+        }
+        m
+    }
+
+    #[test]
+    fn snapshot_lines_parse_and_carry_counters() {
+        let m = sample_registry();
+        let line = snapshot_line(&m, 3, 10_000);
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["seq"].as_u64(), Some(3));
+        assert_eq!(v["refs"].as_u64(), Some(10_000));
+        assert_eq!(
+            v["counters"]["probes_total{strategy=\"mru\"}"].as_u64(),
+            Some(41)
+        );
+        assert_eq!(v["histograms"]["probe_count"]["count"].as_u64(), Some(4));
+        assert!(v.get("final").is_none());
+        assert!(!line.contains('\n'), "snapshot is a single line");
+    }
+
+    #[test]
+    fn final_snapshot_embeds_manifest() {
+        let m = sample_registry();
+        let mut manifest = RunManifest::new("0.1.0");
+        manifest.label("assoc", 4u32);
+        let line = final_snapshot_line(&m, 9, 60_000, &manifest);
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["final"].as_bool(), Some(true));
+        assert_eq!(v["manifest"]["version"].as_str(), Some("0.1.0"));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let m = sample_registry();
+        let text = prometheus_text(&m);
+        assert!(text.contains("# TYPE probes_total counter"), "{text}");
+        assert!(text.contains("probes_total{strategy=\"mru\"} 41"), "{text}");
+        assert!(text.contains("# TYPE local_miss_ratio gauge"), "{text}");
+        assert!(text.contains("local_miss_ratio 0.125"), "{text}");
+        assert!(text.contains("# TYPE probe_count histogram"), "{text}");
+        // Buckets are cumulative: le=1 → 2, le=2 → 3, le=4 → 3, le=8 → 4.
+        assert!(text.contains("probe_count_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("probe_count_bucket{le=\"2\"} 3"), "{text}");
+        assert!(text.contains("probe_count_bucket{le=\"8\"} 4"), "{text}");
+        assert!(text.contains("probe_count_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("probe_count_sum 9"), "{text}");
+        assert!(text.contains("probe_count_count 4"), "{text}");
+    }
+
+    #[test]
+    fn labeled_histograms_merge_label_blocks() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram(&labeled("probe_count", "strategy", "naive"));
+        m.observe(h, 2);
+        let text = prometheus_text(&m);
+        assert!(
+            text.contains("probe_count_bucket{strategy=\"naive\",le=\"2\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("probe_count_sum{strategy=\"naive\"} 2"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Observability for the simulator crates.
+//!
+//! Simulation runs in this workspace are long (the paper-scale trace is
+//! 8M references across 23 segments) and their results feed tables that
+//! must be traceable back to an exact configuration. This crate provides
+//! the pieces the simulator and the CLI bins use to make runs observable
+//! without slowing down un-instrumented runs:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges and log2-bucketed
+//!   [`Log2Histogram`]s (probe counts, MRU distances, per-segment wall
+//!   times), addressed through copyable handles so the hot path is an
+//!   array index, not a hash lookup;
+//! * [`RunManifest`] — what ran: config labels, trace identity, crate
+//!   version, and wall-clock per phase;
+//! * [`export`] — snapshot serialization as JSON lines and Prometheus
+//!   text exposition;
+//! * [`Progress`] — a refs/sec + ETA heartbeat on stderr.
+//!
+//! The crate is a leaf: it knows nothing about caches or traces. The
+//! simulator's metered entry points (see `seta_sim::metered`) feed it,
+//! and the default un-metered paths never touch it.
+
+mod manifest;
+mod progress;
+mod registry;
+
+pub mod export;
+
+pub use manifest::{PhaseSpan, RunManifest, TraceIdentity};
+pub use progress::Progress;
+pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, Log2Histogram, MetricsRegistry};
+
+/// Formats a Prometheus-style metric name with one label, e.g.
+/// `probes_total{strategy="mru"}`. Registry names are plain strings;
+/// this is the conventional way to build per-label series.
+pub fn labeled(name: &str, label: &str, value: &str) -> String {
+    format!("{name}{{{label}={value:?}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_quotes_the_value() {
+        assert_eq!(
+            labeled("probes_total", "strategy", "mru"),
+            "probes_total{strategy=\"mru\"}"
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! The run manifest: what ran, on what input, for how long.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Identity of the workload a run consumed — enough to decide whether two
+/// manifests describe the same input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceIdentity {
+    /// Source of the events: a file path, or a `synthetic:` description
+    /// for generated workloads.
+    pub source: String,
+    /// Number of trace events consumed.
+    pub events: u64,
+    /// Workload seed (0 for file-borne traces, which carry no seed).
+    pub seed: u64,
+}
+
+/// One timed phase of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpan {
+    /// Phase name (`segment-3`, `fig6`, `total`, ...).
+    pub name: String,
+    /// Wall-clock duration in microseconds.
+    pub wall_micros: u64,
+}
+
+/// A record of one run: configuration labels, trace identity, the crate
+/// version that produced it, and wall-clock time per phase.
+///
+/// # Example
+///
+/// ```
+/// use seta_obs::RunManifest;
+///
+/// let mut m = RunManifest::new("0.1.0");
+/// m.label("l2", "256K-32 4-way");
+/// let phase = m.begin_phase("warm-up");
+/// m.end_phase(phase);
+/// assert_eq!(m.phases.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Version of the crate that produced the run.
+    pub version: String,
+    /// Free-form configuration labels, in insertion order.
+    pub labels: Vec<(String, String)>,
+    /// Workload identity, once known.
+    pub trace: Option<TraceIdentity>,
+    /// Completed timed phases, in completion order.
+    pub phases: Vec<PhaseSpan>,
+}
+
+/// An in-flight phase; pass back to [`RunManifest::end_phase`].
+#[derive(Debug)]
+pub struct PhaseGuard {
+    name: String,
+    started: Instant,
+}
+
+impl RunManifest {
+    /// An empty manifest stamped with a producer version (typically the
+    /// caller's `env!("CARGO_PKG_VERSION")`).
+    pub fn new(version: &str) -> Self {
+        RunManifest {
+            version: version.to_owned(),
+            labels: Vec::new(),
+            trace: None,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Adds (or replaces) a configuration label.
+    pub fn label(&mut self, key: &str, value: impl ToString) {
+        let value = value.to_string();
+        if let Some(slot) = self.labels.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.labels.push((key.to_owned(), value));
+        }
+    }
+
+    /// A label's value.
+    pub fn label_value(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Records the workload identity.
+    pub fn set_trace(&mut self, source: impl ToString, events: u64, seed: u64) {
+        self.trace = Some(TraceIdentity {
+            source: source.to_string(),
+            events,
+            seed,
+        });
+    }
+
+    /// Starts timing a phase.
+    pub fn begin_phase(&mut self, name: &str) -> PhaseGuard {
+        PhaseGuard {
+            name: name.to_owned(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Finishes a phase, recording its wall-clock duration.
+    pub fn end_phase(&mut self, guard: PhaseGuard) {
+        self.phases.push(PhaseSpan {
+            name: guard.name,
+            wall_micros: guard.started.elapsed().as_micros() as u64,
+        });
+    }
+
+    /// Times a closure as a named phase and returns its result.
+    pub fn time_phase<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let guard = self.begin_phase(name);
+        let out = f();
+        self.end_phase(guard);
+        out
+    }
+
+    /// Total wall-clock microseconds across recorded phases.
+    pub fn total_wall_micros(&self) -> u64 {
+        self.phases.iter().map(|p| p.wall_micros).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_replace_by_key() {
+        let mut m = RunManifest::new("1.2.3");
+        m.label("assoc", 4u32);
+        m.label("assoc", 8u32);
+        m.label("seed", 7u64);
+        assert_eq!(m.label_value("assoc"), Some("8"));
+        assert_eq!(m.labels.len(), 2);
+    }
+
+    #[test]
+    fn phases_record_elapsed_time() {
+        let mut m = RunManifest::new("0.0.0");
+        m.time_phase("spin", || {
+            std::hint::black_box((0..10_000u64).sum::<u64>());
+        });
+        assert_eq!(m.phases.len(), 1);
+        assert_eq!(m.phases[0].name, "spin");
+        assert_eq!(m.total_wall_micros(), m.phases[0].wall_micros);
+    }
+
+    #[test]
+    fn manifest_serializes_and_round_trips() {
+        let mut m = RunManifest::new("0.1.0");
+        m.label("l1", "4K-16");
+        m.set_trace("synthetic:atum-like", 60_000, 42);
+        m.time_phase("segment-0", || ());
+        let text = serde_json::to_string(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+}

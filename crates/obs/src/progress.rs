@@ -1,0 +1,160 @@
+//! A cheap progress heartbeat for long simulations.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Prints a refs/sec + ETA heartbeat to stderr.
+///
+/// The hot-path cost is one counter compare per [`tick`](Progress::tick):
+/// the clock is only consulted every `check_every` ticks, and a line is
+/// only printed when at least the reporting interval has elapsed since
+/// the last one. Lines go to stderr so they never corrupt piped output.
+///
+/// # Example
+///
+/// ```
+/// use seta_obs::Progress;
+///
+/// let mut p = Progress::new("simulate", Some(1_000));
+/// for _ in 0..1_000 {
+///     p.tick(1);
+/// }
+/// let done = p.finish();
+/// assert_eq!(done, 1_000);
+/// ```
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    total: Option<u64>,
+    done: u64,
+    started: Instant,
+    last_report: Instant,
+    interval: Duration,
+    check_every: u64,
+    until_check: u64,
+}
+
+impl Progress {
+    /// A heartbeat labeled `label`; pass the expected total work count
+    /// for percentage and ETA output, or `None` for open-ended runs.
+    pub fn new(label: &str, total: Option<u64>) -> Self {
+        let now = Instant::now();
+        Progress {
+            label: label.to_owned(),
+            total,
+            done: 0,
+            started: now,
+            last_report: now,
+            interval: Duration::from_millis(500),
+            check_every: 8_192,
+            until_check: 8_192,
+        }
+    }
+
+    /// Overrides the minimum time between printed lines.
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Records `n` units of work, printing a heartbeat line if due.
+    #[inline]
+    pub fn tick(&mut self, n: u64) {
+        self.done += n;
+        self.until_check = self.until_check.saturating_sub(n);
+        if self.until_check == 0 {
+            self.until_check = self.check_every;
+            if self.last_report.elapsed() >= self.interval {
+                self.report();
+            }
+        }
+    }
+
+    /// Work units recorded so far.
+    pub fn done(&self) -> u64 {
+        self.done
+    }
+
+    /// Prints a final line and returns the total work recorded.
+    pub fn finish(&mut self) -> u64 {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        eprintln!(
+            "[{}] done: {} refs in {:.1}s ({}/s)",
+            self.label,
+            self.done,
+            elapsed,
+            rate(self.done, elapsed),
+        );
+        self.done
+    }
+
+    fn report(&mut self) {
+        self.last_report = Instant::now();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let mut line = format!(
+            "[{}] {} refs, {}/s",
+            self.label,
+            self.done,
+            rate(self.done, elapsed)
+        );
+        if let Some(total) = self.total {
+            let pct = 100.0 * self.done as f64 / total.max(1) as f64;
+            line.push_str(&format!(", {pct:.1}%"));
+            if self.done > 0 && self.done < total {
+                let remaining = (total - self.done) as f64 * elapsed / self.done as f64;
+                line.push_str(&format!(", ETA {remaining:.0}s"));
+            }
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{line}");
+    }
+}
+
+/// `count/elapsed` rendered with a k/M suffix.
+fn rate(count: u64, elapsed_secs: f64) -> String {
+    let r = if elapsed_secs > 0.0 {
+        count as f64 / elapsed_secs
+    } else {
+        0.0
+    };
+    if r >= 1e6 {
+        format!("{:.1}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.0}k", r / 1e3)
+    } else {
+        format!("{r:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_accumulate() {
+        let mut p = Progress::new("t", Some(100));
+        for _ in 0..100 {
+            p.tick(1);
+        }
+        assert_eq!(p.done(), 100);
+        assert_eq!(p.finish(), 100);
+    }
+
+    #[test]
+    fn rate_suffixes() {
+        assert_eq!(rate(500, 1.0), "500");
+        assert_eq!(rate(5_000, 1.0), "5k");
+        assert_eq!(rate(2_500_000, 1.0), "2.5M");
+        assert_eq!(rate(10, 0.0), "0");
+    }
+
+    #[test]
+    fn open_ended_progress_has_no_total() {
+        let mut p = Progress::new("open", None).with_interval(Duration::ZERO);
+        // Enough ticks to force at least one clock check and report.
+        for _ in 0..3 {
+            p.tick(10_000);
+        }
+        assert_eq!(p.done(), 30_000);
+    }
+}

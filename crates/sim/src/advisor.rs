@@ -32,9 +32,9 @@
 //! ```
 
 use crate::runner::{simulate, standard_strategies};
+use serde::{Deserialize, Serialize};
 use seta_cache::CacheConfig;
 use seta_trace::gen::{AtumLike, AtumLikeConfig};
-use serde::{Deserialize, Serialize};
 
 /// A low-cost implementation choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -238,7 +238,11 @@ mod tests {
             1,
             32,
         );
-        assert!(r.reasons.iter().any(|s| s.contains("32-bit tags")), "{:?}", r.reasons);
+        assert!(
+            r.reasons.iter().any(|s| s.contains("32-bit tags")),
+            "{:?}",
+            r.reasons
+        );
     }
 
     #[test]

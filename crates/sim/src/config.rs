@@ -1,8 +1,8 @@
 //! The paper's simulated configurations (Table 3).
 
+use serde::{Deserialize, Serialize};
 use seta_cache::{CacheConfig, CacheConfigError};
 use seta_trace::gen::AtumLikeConfig;
-use serde::{Deserialize, Serialize};
 
 /// A level-one/level-two geometry pair from the paper's Table 4 grid.
 ///

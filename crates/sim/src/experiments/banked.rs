@@ -6,10 +6,10 @@
 use crate::experiments::ExperimentParams;
 use crate::report::{f2, TextTable};
 use crate::runner::simulate;
+use serde::{Deserialize, Serialize};
 use seta_core::lookup::{Banked, LookupStrategy, ScanOrder};
 use seta_core::model;
 use seta_trace::gen::AtumLike;
-use serde::{Deserialize, Serialize};
 
 /// Measured and predicted probes for one `(a, b, order)` point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

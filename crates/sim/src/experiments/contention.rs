@@ -16,10 +16,10 @@
 use crate::experiments::ExperimentParams;
 use crate::report::{f2, TextTable};
 use crate::runner::{simulate, standard_strategies};
+use serde::{Deserialize, Serialize};
 use seta_core::contention::BusModel;
 use seta_core::timing::{paper_dram_designs, LookupImpl};
 use seta_trace::gen::AtumLike;
-use serde::{Deserialize, Serialize};
 
 /// One L2 organization's contention profile.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

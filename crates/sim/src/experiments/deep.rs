@@ -17,9 +17,9 @@
 use crate::experiments::{ExperimentParams, STANDARD_LABELS};
 use crate::report::{f2, f4, TextTable};
 use crate::runner::{simulate_last_level, standard_strategies, DeepOutcome};
+use serde::{Deserialize, Serialize};
 use seta_cache::CacheConfig;
 use seta_trace::gen::AtumLike;
-use serde::{Deserialize, Serialize};
 
 /// Results at one L3 associativity.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -114,11 +114,7 @@ impl DeepStudy {
         headers.extend(STANDARD_LABELS.iter().map(|l| l.to_string()));
         let mut t = TextTable::new(headers);
         for r in &self.rows {
-            let mut row = vec![
-                r.assoc.to_string(),
-                f4(r.l3_local_miss_ratio),
-                f4(r.f1),
-            ];
+            let mut row = vec![r.assoc.to_string(), f4(r.l3_local_miss_ratio), f4(r.f1)];
             row.extend(r.totals.iter().map(|&v| f2(v)));
             t.row(row);
         }
@@ -168,7 +164,10 @@ mod tests {
         let s = study();
         assert!(s.l2_f1 > 0.0 && s.l2_f1 <= 1.0);
         for r in &s.rows {
-            assert!(r.l3_local_miss_ratio > 0.0 && r.l3_local_miss_ratio < 1.0, "{r:?}");
+            assert!(
+                r.l3_local_miss_ratio > 0.0 && r.l3_local_miss_ratio < 1.0,
+                "{r:?}"
+            );
             assert!(r.f1 >= 0.0 && r.f1 <= 1.0, "{r:?}");
         }
     }

@@ -1,13 +1,12 @@
 //! Figure 5: reduced MRU lists (left) and the MRU-distance distribution
 //! `fᵢ` (right).
 
-
 use crate::experiments::ExperimentParams;
 use crate::report::{f2, TextTable};
 use crate::runner::simulate;
+use serde::{Deserialize, Serialize};
 use seta_core::lookup::{LookupStrategy, Mru};
 use seta_trace::gen::AtumLike;
-use serde::{Deserialize, Serialize};
 
 /// Results for one associativity.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -2,14 +2,13 @@
 //! transformations, against the theoretical lower bound and the MRU
 //! scheme.
 
-
 use crate::experiments::ExperimentParams;
 use crate::report::{f2, TextTable};
 use crate::runner::simulate;
+use serde::{Deserialize, Serialize};
 use seta_core::lookup::{LookupStrategy, Mru, PartialCompare, TransformKind};
 use seta_core::model;
 use seta_trace::gen::AtumLike;
-use serde::{Deserialize, Serialize};
 
 /// Measured read-in hit probes for one `(tag width, associativity)` cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -21,6 +21,7 @@
 use crate::experiments::ExperimentParams;
 use crate::report::{f2, f4, TextTable};
 use crate::runner::simulate;
+use serde::{Deserialize, Serialize};
 use seta_cache::{
     Cache, CacheConfig, HashRehashCache, L2Observer, L2RequestKind, L2RequestView, SwapTwoWay,
     TwoLevel,
@@ -28,7 +29,6 @@ use seta_cache::{
 use seta_core::lookup::{LookupStrategy, Mru, Naive, Traditional};
 use seta_core::ProbeStats;
 use seta_trace::gen::AtumLike;
-use serde::{Deserialize, Serialize};
 
 /// One organization's results.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -155,8 +155,7 @@ pub fn run(params: &ExperimentParams) -> HashRehashStudy {
         miss_probes: 1.0,
         total_probes: shadow.dm_probes.total_mean(),
     });
-    let two_way_read_in_miss = (two_way.hierarchy.read_ins - two_way.hierarchy.read_in_hits)
-        as f64
+    let two_way_read_in_miss = (two_way.hierarchy.read_ins - two_way.hierarchy.read_in_hits) as f64
         / two_way.hierarchy.read_ins.max(1) as f64;
     for s in &two_way.strategies {
         rows.push(HashRehashRow {
@@ -206,9 +205,15 @@ impl HashRehashStudy {
     /// Renders the study.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
-            ["Organization", "Local miss", "Hit probes", "Miss probes", "Total"]
-                .map(String::from)
-                .to_vec(),
+            [
+                "Organization",
+                "Local miss",
+                "Hit probes",
+                "Miss probes",
+                "Total",
+            ]
+            .map(String::from)
+            .to_vec(),
         );
         for r in &self.rows {
             t.row(vec![
@@ -280,7 +285,10 @@ mod tests {
         let hr = s.row("hash-rehash").expect("row").local_miss_ratio;
         let two = s.row("2-way mru").expect("row").local_miss_ratio;
         assert!(hr < dm, "hash-rehash {hr} should beat direct-mapped {dm}");
-        assert!(two <= hr + 0.02, "true 2-way LRU {two} should be best (hr {hr})");
+        assert!(
+            two <= hr + 0.02,
+            "true 2-way LRU {two} should be best (hr {hr})"
+        );
     }
 
     #[test]

@@ -19,10 +19,10 @@ use crate::experiments::ExperimentParams;
 use crate::report::{f4, TextTable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use seta_cache::TwoLevel;
 use seta_trace::gen::AtumLike;
 use seta_trace::TraceEvent;
-use serde::{Deserialize, Serialize};
 
 /// Measurements at one associativity.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -91,7 +91,7 @@ pub fn run_with(
             for event in AtumLike::new(params.trace.clone(), params.seed) {
                 if let TraceEvent::Ref(_) = event {
                     refs += 1;
-                    if refs % period == 0 {
+                    if refs.is_multiple_of(period) {
                         // Invalidate `burst` random resident blocks: a remote
                         // processor takes ownership of lines we share.
                         let resident: Vec<u64> = h.l2().resident_addrs().collect();

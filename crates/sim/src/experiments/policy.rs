@@ -16,11 +16,11 @@
 use crate::experiments::ExperimentParams;
 use crate::report::{f2, f4, TextTable};
 use crate::runner::simulate_with_l2_policy;
+use serde::{Deserialize, Serialize};
 use seta_cache::Policy;
 use seta_core::lookup::{LookupStrategy, Mru, Naive, PartialCompare, TransformKind};
 use seta_core::model;
 use seta_trace::gen::AtumLike;
-use serde::{Deserialize, Serialize};
 
 /// Measurements for one replacement policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -96,9 +96,15 @@ impl PolicyStudy {
     /// Renders the study.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
-            ["Policy", "Local miss", "Naive hit", "MRU hit", "Partial hit"]
-                .map(String::from)
-                .to_vec(),
+            [
+                "Policy",
+                "Local miss",
+                "Naive hit",
+                "MRU hit",
+                "Partial hit",
+            ]
+            .map(String::from)
+            .to_vec(),
         );
         for r in &self.rows {
             t.row(vec![
@@ -185,7 +191,10 @@ mod tests {
         let vals: Vec<f64> = s.rows.iter().map(|r| r.partial_hits).collect();
         let spread = vals.iter().cloned().fold(f64::MIN, f64::max)
             - vals.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread < 0.25, "partial hit spread {spread} too wide: {vals:?}");
+        assert!(
+            spread < 0.25,
+            "partial hit spread {spread} too wide: {vals:?}"
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Table 1: analytical expected probes per implementation method.
 
 use crate::report::{f2, TextTable};
-use seta_core::model;
 use serde::{Deserialize, Serialize};
+use seta_core::model;
 
 /// One row of Table 1.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

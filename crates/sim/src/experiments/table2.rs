@@ -1,8 +1,8 @@
 //! Table 2: trial implementations of the tag memory and comparison logic.
 
 use crate::report::TextTable;
-use seta_core::timing::{paper_dram_designs, paper_sram_designs, LookupImpl, TrialDesign};
 use serde::{Deserialize, Serialize};
+use seta_core::timing::{paper_dram_designs, paper_sram_designs, LookupImpl, TrialDesign};
 
 /// The computed table: the paper's eight trial designs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -94,9 +94,19 @@ mod tests {
     fn render_contains_paper_values() {
         let s = run().render();
         for needle in [
-            "136", "150+50x", "250+50x+u", "150+50y", "42", "21", // DRAM half
-            "61", "65+55x", "84", "37", "24", // SRAM half
-            "1Mx8", "256Kx(16,8)",
+            "136",
+            "150+50x",
+            "250+50x+u",
+            "150+50y",
+            "42",
+            "21", // DRAM half
+            "61",
+            "65+55x",
+            "84",
+            "37",
+            "24", // SRAM half
+            "1Mx8",
+            "256Kx(16,8)",
         ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }

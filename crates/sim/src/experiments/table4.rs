@@ -66,11 +66,7 @@ pub fn run(params: &ExperimentParams) -> Table4 {
 }
 
 /// Runs an explicit subset of the grid.
-pub fn run_with(
-    params: &ExperimentParams,
-    presets: &[HierarchyPreset],
-    assocs: &[u32],
-) -> Table4 {
+pub fn run_with(params: &ExperimentParams, presets: &[HierarchyPreset], assocs: &[u32]) -> Table4 {
     // The grid's 24 runs are independent; run them across all cores.
     let mut specs = Vec::new();
     let mut labels = Vec::new();
@@ -126,9 +122,19 @@ impl Table4 {
     pub fn csv(&self) -> String {
         let mut t = TextTable::new(
             [
-                "config", "assoc", "global_miss", "local_miss", "wb_fraction",
-                "naive_hit", "naive_total", "mru_hit", "mru_total",
-                "partial_hit", "partial_miss", "partial_total", "best",
+                "config",
+                "assoc",
+                "global_miss",
+                "local_miss",
+                "wb_fraction",
+                "naive_hit",
+                "naive_total",
+                "mru_hit",
+                "mru_total",
+                "partial_hit",
+                "partial_miss",
+                "partial_total",
+                "best",
             ]
             .map(String::from)
             .to_vec(),
@@ -230,13 +236,22 @@ mod tests {
     fn miss_ratios_are_sane() {
         let g = grid();
         for r in &g.rows {
-            assert!(r.global_miss_ratio > 0.0 && r.global_miss_ratio < 1.0, "{r:?}");
-            assert!(r.local_miss_ratio > 0.0 && r.local_miss_ratio < 1.0, "{r:?}");
+            assert!(
+                r.global_miss_ratio > 0.0 && r.global_miss_ratio < 1.0,
+                "{r:?}"
+            );
+            assert!(
+                r.local_miss_ratio > 0.0 && r.local_miss_ratio < 1.0,
+                "{r:?}"
+            );
             assert!(
                 r.global_miss_ratio <= r.local_miss_ratio,
                 "global exceeds local: {r:?}"
             );
-            assert!(r.write_back_fraction > 0.02 && r.write_back_fraction < 0.6, "{r:?}");
+            assert!(
+                r.write_back_fraction > 0.02 && r.write_back_fraction < 0.6,
+                "{r:?}"
+            );
         }
     }
 

@@ -11,9 +11,9 @@
 use crate::experiments::ExperimentParams;
 use crate::report::{f2, TextTable};
 use crate::runner::{simulate, standard_strategies};
+use serde::{Deserialize, Serialize};
 use seta_core::timing::{paper_dram_designs, paper_sram_designs, LookupImpl, RamTechnology};
 use seta_trace::gen::AtumLike;
-use serde::{Deserialize, Serialize};
 
 /// Effective times for one associativity and technology.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -111,8 +111,15 @@ impl EffectiveTiming {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
             [
-                "Assoc", "RAM", "Trad ns", "MRU ns", "Partial ns", "MRU x", "Partial x",
-                "MRU cyc", "Part cyc",
+                "Assoc",
+                "RAM",
+                "Trad ns",
+                "MRU ns",
+                "Partial ns",
+                "MRU x",
+                "Partial x",
+                "MRU cyc",
+                "Part cyc",
             ]
             .map(String::from)
             .to_vec(),

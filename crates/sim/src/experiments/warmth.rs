@@ -9,8 +9,8 @@
 use crate::experiments::ExperimentParams;
 use crate::report::{f2, f4, TextTable};
 use crate::runner::{simulate, standard_strategies, RunOutcome};
-use seta_trace::gen::AtumLike;
 use serde::{Deserialize, Serialize};
+use seta_trace::gen::AtumLike;
 
 /// One temperature variant's measurements.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -151,8 +151,7 @@ mod tests {
         // "Similar": the scheme ordering must not change with warmth.
         let s = study();
         for r in &s.rows {
-            let (trad, naive, mru, partial) =
-                (r.totals[0], r.totals[1], r.totals[2], r.totals[3]);
+            let (trad, naive, mru, partial) = (r.totals[0], r.totals[1], r.totals[2], r.totals[3]);
             assert!(trad < partial, "{}: {trad} vs {partial}", r.variant);
             assert!(partial < naive, "{}: {partial} vs {naive}", r.variant);
             let _ = mru; // mru vs naive ordering varies at a=4; not asserted

@@ -10,6 +10,9 @@
 //! the paper's single trace-driven simulation.
 //!
 //! * [`runner`] — the simulation loop ([`runner::simulate`]).
+//! * [`metered`] — the same loop with metrics, manifests, JSONL snapshot
+//!   streaming and a progress heartbeat
+//!   ([`metered::simulate_instrumented`]).
 //! * [`config`] — the paper's level-one/level-two configuration presets
 //!   (Table 3).
 //! * [`experiments`] — one module per table/figure, each returning
@@ -45,8 +48,10 @@
 pub mod advisor;
 pub mod config;
 pub mod experiments;
+pub mod metered;
 pub mod report;
 pub mod runner;
 
 pub use config::HierarchyPreset;
+pub use metered::{simulate_instrumented, MeterConfig, MeteredRun};
 pub use runner::{simulate, standard_strategies, RunOutcome, StrategyResult};

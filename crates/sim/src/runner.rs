@@ -1,10 +1,12 @@
 //! The simulation loop: one trace pass scores every lookup strategy.
 
-use seta_cache::{CacheConfig, CacheStats, L2Observer, L2RequestKind, L2RequestView, TwoLevel, TwoLevelStats};
+use serde::{Deserialize, Serialize};
+use seta_cache::{
+    CacheConfig, CacheStats, L2Observer, L2RequestKind, L2RequestView, TwoLevel, TwoLevelStats,
+};
 use seta_core::lookup::{LookupStrategy, Mru, Naive, PartialCompare, Traditional, TransformKind};
 use seta_core::{model, MruDistanceHistogram, ProbeStats, SetView};
 use seta_trace::TraceEvent;
-use serde::{Deserialize, Serialize};
 
 /// Probe results for one strategy over one run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -51,19 +53,19 @@ impl RunOutcome {
 }
 
 /// Scores every strategy against each L2 request's pre-access set state.
-struct Scorer<'a> {
+pub(crate) struct Scorer<'a> {
     strategies: &'a [Box<dyn LookupStrategy>],
-    results: Vec<(ProbeStats, ProbeStats)>,
-    mru_hist: MruDistanceHistogram,
+    pub(crate) results: Vec<(ProbeStats, ProbeStats)>,
+    pub(crate) mru_hist: MruDistanceHistogram,
     valid_buf: Vec<bool>,
     /// Requests that change the MRU list (hits away from the MRU position,
     /// plus every miss) — Table 2's update probability `u`.
-    mru_updates: u64,
-    requests: u64,
+    pub(crate) mru_updates: u64,
+    pub(crate) requests: u64,
 }
 
 impl<'a> Scorer<'a> {
-    fn new(strategies: &'a [Box<dyn LookupStrategy>], assoc: u32) -> Self {
+    pub(crate) fn new(strategies: &'a [Box<dyn LookupStrategy>], assoc: u32) -> Self {
         Scorer {
             strategies,
             results: vec![(ProbeStats::new(), ProbeStats::new()); strategies.len()],
@@ -97,7 +99,8 @@ impl L2Observer for Scorer<'_> {
         for (strategy, (opt, no_opt)) in self.strategies.iter().zip(&mut self.results) {
             let lookup = strategy.lookup(&view, req.tag);
             debug_assert_eq!(
-                lookup.hit_way, req.hit_way,
+                lookup.hit_way,
+                req.hit_way,
                 "{} disagrees with the cache on {:?}",
                 strategy.name(),
                 req.addr
@@ -161,6 +164,16 @@ where
         .expect("L1 blocks must fit in L2 blocks");
     let mut scorer = Scorer::new(strategies, l2.associativity());
     hierarchy.run(events, &mut scorer);
+    assemble_outcome(&hierarchy, scorer, strategies)
+}
+
+/// Builds the [`RunOutcome`] from a finished hierarchy and scorer (shared
+/// by the plain and instrumented simulation paths).
+pub(crate) fn assemble_outcome(
+    hierarchy: &TwoLevel,
+    scorer: Scorer<'_>,
+    strategies: &[Box<dyn LookupStrategy>],
+) -> RunOutcome {
     let (l1_stats, l2_stats) = hierarchy.level_stats();
     let mru_update_fraction = if scorer.requests == 0 {
         0.0
@@ -168,9 +181,9 @@ where
         scorer.mru_updates as f64 / scorer.requests as f64
     };
     RunOutcome {
-        l1_label: l1.label(),
-        l2_label: l2.label(),
-        assoc: l2.associativity(),
+        l1_label: hierarchy.l1().config().label(),
+        l2_label: hierarchy.l2().config().label(),
+        assoc: hierarchy.l2().config().associativity(),
         hierarchy: *hierarchy.stats(),
         l1_stats,
         l2_stats,
@@ -229,8 +242,7 @@ pub fn simulate_many(specs: &[RunSpec]) -> Vec<RunOutcome> {
     if threads <= 1 {
         return specs.iter().map(RunSpec::run).collect();
     }
-    let slots: Vec<Mutex<Option<RunOutcome>>> =
-        specs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<RunOutcome>>> = specs.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -430,8 +442,7 @@ mod tests {
             assert_eq!(s.probes.hits.count, first.hits.count, "{}", s.name);
             assert_eq!(s.probes.misses.count, first.misses.count, "{}", s.name);
             assert_eq!(
-                s.probes.write_backs.count,
-                first.write_backs.count,
+                s.probes.write_backs.count, first.write_backs.count,
                 "{}",
                 s.name
             );

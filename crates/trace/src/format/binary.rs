@@ -241,7 +241,8 @@ mod tests {
     fn record_size_is_compact() {
         let mut buf = Vec::new();
         let mut w = BinaryWriter::new(&mut buf);
-        w.write_event(&TraceEvent::Ref(TraceRecord::read(1))).unwrap();
+        w.write_event(&TraceEvent::Ref(TraceRecord::read(1)))
+            .unwrap();
         w.write_event(&TraceEvent::Flush).unwrap();
         w.finish().unwrap();
         // 5 header + 9 ref + 1 flush

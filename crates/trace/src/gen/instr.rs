@@ -28,7 +28,10 @@ impl InstrConfig {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if !self.instr_size.is_power_of_two() {
-            return Err(format!("instr_size {} is not a power of two", self.instr_size));
+            return Err(format!(
+                "instr_size {} is not a power of two",
+                self.instr_size
+            ));
         }
         for (name, p) in [("p_branch", self.p_branch), ("p_loop", self.p_loop)] {
             if !(0.0..=1.0).contains(&p) {
@@ -195,20 +198,28 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = InstrConfig::default();
-        c.instr_size = 3;
+        let c = InstrConfig {
+            instr_size: 3,
+            ..InstrConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = InstrConfig::default();
-        c.p_branch = -0.1;
+        let c = InstrConfig {
+            p_branch: -0.1,
+            ..InstrConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = InstrConfig::default();
-        c.loop_targets = 0;
+        let c = InstrConfig {
+            loop_targets: 0,
+            ..InstrConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = InstrConfig::default();
-        c.code_segment = 2;
+        let c = InstrConfig {
+            code_segment: 2,
+            ..InstrConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

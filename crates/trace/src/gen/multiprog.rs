@@ -168,9 +168,11 @@ mod tests {
     use std::collections::HashSet;
 
     fn workload(seed: u64) -> Multiprogram {
-        let mut cfg = MultiprogramConfig::default();
-        cfg.mean_quantum = 500;
-        cfg.os_burst = 50;
+        let cfg = MultiprogramConfig {
+            mean_quantum: 500,
+            os_burst: 50,
+            ..MultiprogramConfig::default()
+        };
         Multiprogram::new(cfg, seed).unwrap()
     }
 
@@ -227,9 +229,11 @@ mod tests {
 
     #[test]
     fn zero_os_burst_emits_no_os_refs() {
-        let mut cfg = MultiprogramConfig::default();
-        cfg.os_burst = 0;
-        cfg.mean_quantum = 100;
+        let cfg = MultiprogramConfig {
+            os_burst: 0,
+            mean_quantum: 100,
+            ..MultiprogramConfig::default()
+        };
         let mut m = Multiprogram::new(cfg, 5).unwrap();
         for _ in 0..10_000 {
             assert_ne!(m.next_record().addr >> 32, OS_PID);
@@ -245,12 +249,16 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = MultiprogramConfig::default();
-        c.processes = 0;
+        let c = MultiprogramConfig {
+            processes: 0,
+            ..MultiprogramConfig::default()
+        };
         assert!(Multiprogram::new(c, 0).is_err());
 
-        let mut c = MultiprogramConfig::default();
-        c.mean_quantum = 0;
+        let c = MultiprogramConfig {
+            mean_quantum: 0,
+            ..MultiprogramConfig::default()
+        };
         assert!(Multiprogram::new(c, 0).is_err());
     }
 }

@@ -91,8 +91,16 @@ impl ProcessStream {
         let base = pid << PROCESS_SPAN_BITS;
         let data_base = base + (1u64 << (PROCESS_SPAN_BITS - 1));
         // Derive decorrelated sub-seeds for the two streams.
-        let instr = InstructionStream::new(config.instr, base, seed.wrapping_mul(0x9E37_79B9).wrapping_add(1))?;
-        let data = StackModel::new(config.data, data_base, seed.wrapping_mul(0x85EB_CA6B).wrapping_add(2))?;
+        let instr = InstructionStream::new(
+            config.instr,
+            base,
+            seed.wrapping_mul(0x9E37_79B9).wrapping_add(1),
+        )?;
+        let data = StackModel::new(
+            config.data,
+            data_base,
+            seed.wrapping_mul(0x85EB_CA6B).wrapping_add(2),
+        )?;
         Ok(ProcessStream {
             pid,
             ifetch_fraction: config.ifetch_fraction,
@@ -184,8 +192,10 @@ mod tests {
 
     #[test]
     fn invalid_fraction_is_rejected() {
-        let mut c = ProcessConfig::default();
-        c.ifetch_fraction = 2.0;
+        let c = ProcessConfig {
+            ifetch_fraction: 2.0,
+            ..ProcessConfig::default()
+        };
         assert!(ProcessStream::new(c, 0, 0).is_err());
     }
 }

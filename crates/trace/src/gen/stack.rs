@@ -43,10 +43,16 @@ impl StackConfig {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if !self.region_size.is_power_of_two() {
-            return Err(format!("region_size {} is not a power of two", self.region_size));
+            return Err(format!(
+                "region_size {} is not a power of two",
+                self.region_size
+            ));
         }
         if !self.access_size.is_power_of_two() {
-            return Err(format!("access_size {} is not a power of two", self.access_size));
+            return Err(format!(
+                "access_size {} is not a power of two",
+                self.access_size
+            ));
         }
         if self.access_size > self.region_size {
             return Err("access_size exceeds region_size".into());
@@ -162,9 +168,7 @@ impl StackModel {
     }
 
     fn allocate_region(&mut self) -> u64 {
-        let region = if self.alloc_cursor == 0
-            || !self.rng.gen_bool(self.config.p_adjacent_alloc)
-        {
+        let region = if self.alloc_cursor == 0 || !self.rng.gen_bool(self.config.p_adjacent_alloc) {
             self.rng.gen_range(0..self.regions_in_segment())
         } else {
             (self.alloc_cursor + 1) % self.regions_in_segment()
@@ -295,9 +299,11 @@ mod tests {
 
     #[test]
     fn stack_never_exceeds_max() {
-        let mut cfg = StackConfig::default();
-        cfg.max_stack = 16;
-        cfg.p_new_region = 0.5;
+        let cfg = StackConfig {
+            max_stack: 16,
+            p_new_region: 0.5,
+            ..StackConfig::default()
+        };
         let mut m = StackModel::new(cfg, 0, 5).unwrap();
         for _ in 0..2_000 {
             m.next_record();
@@ -307,9 +313,12 @@ mod tests {
 
     #[test]
     fn stack_holds_distinct_regions() {
-        let mut cfg = StackConfig::default();
-        cfg.data_segment = 1 << 12; // tiny segment forces wrap-around collisions
-        cfg.p_new_region = 0.3;
+        // A tiny data segment forces wrap-around collisions.
+        let cfg = StackConfig {
+            data_segment: 1 << 12,
+            p_new_region: 0.3,
+            ..StackConfig::default()
+        };
         let mut m = StackModel::new(cfg, 0, 6).unwrap();
         for _ in 0..5_000 {
             m.next_record();
@@ -327,25 +336,35 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = StackConfig::default();
-        c.region_size = 48;
+        let c = StackConfig {
+            region_size: 48,
+            ..StackConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = StackConfig::default();
-        c.write_fraction = 1.5;
+        let c = StackConfig {
+            write_fraction: 1.5,
+            ..StackConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = StackConfig::default();
-        c.max_stack = 0;
+        let c = StackConfig {
+            max_stack: 0,
+            ..StackConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = StackConfig::default();
-        c.access_size = 128;
-        c.region_size = 64;
+        let c = StackConfig {
+            access_size: 128,
+            region_size: 64,
+            ..StackConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = StackConfig::default();
-        c.data_segment = 32;
+        let c = StackConfig {
+            data_segment: 32,
+            ..StackConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

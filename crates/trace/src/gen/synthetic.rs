@@ -57,7 +57,9 @@ impl Irm {
             return Err(format!("block_size {block_size} is not a power of two"));
         }
         if !(0.0..=1.0).contains(&write_fraction) {
-            return Err(format!("write_fraction {write_fraction} is not a probability"));
+            return Err(format!(
+                "write_fraction {write_fraction} is not a probability"
+            ));
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mask = !(block_size - 1);
@@ -190,7 +192,9 @@ mod tests {
     #[test]
     fn irm_write_fraction_holds() {
         let mut irm = Irm::new(32, 16, 0.25, 3).unwrap();
-        let writes = (0..40_000).filter(|_| irm.next_record().kind.is_write()).count();
+        let writes = (0..40_000)
+            .filter(|_| irm.next_record().kind.is_write())
+            .count();
         let frac = writes as f64 / 40_000.0;
         assert!((frac - 0.25).abs() < 0.02, "{frac}");
     }

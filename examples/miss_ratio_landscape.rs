@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         analyzer.refs(),
         analyzer.cold_misses()
     );
-    println!("\nmiss ratio by associativity ({} sets x {} B blocks, one pass):", sets, block);
+    println!(
+        "\nmiss ratio by associativity ({} sets x {} B blocks, one pass):",
+        sets, block
+    );
     let mut assoc = 1u32;
     let mut prev = f64::NAN;
     while assoc <= 32 {

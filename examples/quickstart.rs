@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let l1 = CacheConfig::direct_mapped(16 * 1024, 16)?;
     let l2 = CacheConfig::new(256 * 1024, 32, 4)?;
     println!("L1: {l1}   L2: {l2}");
-    println!("workload: {} references in {} segments\n", workload.total_refs(), workload.segments);
+    println!(
+        "workload: {} references in {} segments\n",
+        workload.total_refs(),
+        workload.segments
+    );
 
     let out = simulate(
         l1,

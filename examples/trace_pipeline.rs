@@ -84,7 +84,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out.hierarchy.local_miss_ratio()
     );
     for s in &out.strategies {
-        println!("  {:<28} {:.2} probes/access", s.name, s.probes.total_mean());
+        println!(
+            "  {:<28} {:.2} probes/access",
+            s.name,
+            s.probes.total_mean()
+        );
     }
 
     std::fs::remove_dir_all(&dir).ok();

@@ -34,7 +34,10 @@ fn main() {
     let trials = 200_000;
 
     println!("Partial-compare MISS cost on correlated 16-bit tags (4-way, k=4)\n");
-    println!("{:<10} {:>14} {:>16}", "transform", "probes/miss", "theory (random)");
+    println!(
+        "{:<10} {:>14} {:>16}",
+        "transform", "probes/miss", "theory (random)"
+    );
     let theory = model::partial_miss(4, 4, 1);
     for kind in [
         TransformKind::None,

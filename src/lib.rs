@@ -16,6 +16,8 @@
 //!   multiprogrammed workload generator.
 //! * [`sim`] (`seta-sim`) — the experiment harness that regenerates every
 //!   table and figure of the paper.
+//! * [`obs`] (`seta-obs`) — opt-in observability: metrics registry, run
+//!   manifests, JSONL/Prometheus exporters, and a progress heartbeat.
 //!
 //! # Quickstart
 //!
@@ -50,5 +52,6 @@
 
 pub use seta_cache as cache;
 pub use seta_core as core;
+pub use seta_obs as obs;
 pub use seta_sim as sim;
 pub use seta_trace as trace;

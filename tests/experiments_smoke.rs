@@ -121,7 +121,10 @@ fn extension_studies_run_and_serialize() {
     let b = banked::run_with_assocs(&p, &[4]);
     assert!(b.render().contains("Banked"));
     let json = serde_json::to_string(&b).expect("serializes");
-    assert_eq!(serde_json::from_str::<banked::BankedStudy>(&json).expect("deserializes"), b);
+    assert_eq!(
+        serde_json::from_str::<banked::BankedStudy>(&json).expect("deserializes"),
+        b
+    );
 
     let h = hashrehash::run(&p);
     assert!(h.render().contains("hash-rehash"));
@@ -134,7 +137,10 @@ fn extension_studies_run_and_serialize() {
     let w = warmth::run_with_assoc(&p, 4);
     assert!(w.render().contains("warm"));
     let json = serde_json::to_string(&w).expect("serializes");
-    assert_eq!(serde_json::from_str::<warmth::WarmthStudy>(&json).expect("deserializes"), w);
+    assert_eq!(
+        serde_json::from_str::<warmth::WarmthStudy>(&json).expect("deserializes"),
+        w
+    );
 
     let i = invalidation::run_with(&p, &[1, 4], 500, 4);
     assert!(i.render().contains("invalidations"));
@@ -163,7 +169,10 @@ fn extension_studies_run_and_serialize() {
     let s = policy::run_with_assoc(&p, 4);
     assert!(s.render().contains("Policy"));
     let json = serde_json::to_string(&s).expect("serializes");
-    assert_eq!(serde_json::from_str::<policy::PolicyStudy>(&json).expect("deserializes"), s);
+    assert_eq!(
+        serde_json::from_str::<policy::PolicyStudy>(&json).expect("deserializes"),
+        s
+    );
 
     let d = deep::run_with(
         &p,
@@ -174,5 +183,8 @@ fn extension_studies_run_and_serialize() {
     );
     assert!(d.render().contains("Three-level"));
     let json = serde_json::to_string(&d).expect("serializes");
-    assert_eq!(serde_json::from_str::<deep::DeepStudy>(&json).expect("deserializes"), d);
+    assert_eq!(
+        serde_json::from_str::<deep::DeepStudy>(&json).expect("deserializes"),
+        d
+    );
 }

@@ -1,0 +1,149 @@
+//! Golden test for the observability pipeline: a short synthetic run with
+//! a metrics writer must emit well-formed JSONL — every line parses, the
+//! counters are monotone across snapshots, and the final snapshot agrees
+//! exactly with the `RunOutcome` totals.
+
+use serde_json::Value;
+use seta::cache::CacheConfig;
+use seta::obs::labeled;
+use seta::sim::metered::{simulate_instrumented, MeterConfig};
+use seta::sim::runner::standard_strategies;
+use seta::trace::gen::{AtumLike, AtumLikeConfig};
+
+fn short_run(snapshot_every: u64) -> (Vec<String>, seta::sim::MeteredRun) {
+    let l1 = CacheConfig::direct_mapped(4 * 1024, 16).unwrap();
+    let l2 = CacheConfig::new(16 * 1024, 32, 4).unwrap();
+    let mut workload = AtumLikeConfig::paper_like();
+    workload.segments = 3;
+    workload.refs_per_segment = 10_000;
+    let events = AtumLike::new(workload, 77);
+    let strategies = standard_strategies(4, 16);
+    let cfg = MeterConfig {
+        snapshot_every,
+        progress: false,
+        expected_refs: Some(30_000),
+    };
+    let mut out: Vec<u8> = Vec::new();
+    let run = simulate_instrumented(
+        l1,
+        l2,
+        events,
+        &strategies,
+        "synthetic:golden 3x10000",
+        77,
+        &cfg,
+        Some(&mut out),
+    )
+    .expect("writing to a Vec cannot fail");
+    let text = String::from_utf8(out).expect("JSONL is UTF-8");
+    let lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    (lines, run)
+}
+
+fn counter(line: &Value, name: &str) -> u64 {
+    line["counters"][name]
+        .as_u64()
+        .unwrap_or_else(|| panic!("counter {name} missing or not a u64"))
+}
+
+#[test]
+fn every_line_is_well_formed_json() {
+    let (lines, _) = short_run(5_000);
+    assert!(lines.len() >= 2, "expected periodic + final snapshots");
+    for (i, line) in lines.iter().enumerate() {
+        let v: Value = serde_json::from_str(line).expect("each line parses as JSON");
+        for key in ["seq", "refs", "counters", "gauges", "histograms"] {
+            assert!(!v[key].is_null(), "line {i} lacks {key:?}");
+        }
+        assert_eq!(v["seq"].as_u64(), Some(i as u64), "seq is sequential");
+    }
+}
+
+#[test]
+fn counters_are_monotone_across_snapshots() {
+    let (lines, _) = short_run(5_000);
+    let parsed: Vec<Value> = lines
+        .iter()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    let mut prev_refs = 0u64;
+    for pair in parsed.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        let refs = b["refs"].as_u64().unwrap();
+        assert!(refs >= prev_refs, "refs must be monotone");
+        prev_refs = refs;
+        let counters = a["counters"].as_object().unwrap();
+        for (name, before) in counters {
+            let before = before.as_u64().unwrap();
+            let after = counter(b, name);
+            assert!(
+                after >= before,
+                "counter {name} regressed: {before} -> {after}"
+            );
+        }
+    }
+}
+
+#[test]
+fn only_the_last_line_is_final_and_carries_the_manifest() {
+    let (lines, run) = short_run(5_000);
+    let parsed: Vec<Value> = lines
+        .iter()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    for (i, v) in parsed.iter().enumerate() {
+        let is_last = i + 1 == parsed.len();
+        assert_eq!(v["final"].as_bool().unwrap_or(false), is_last);
+        assert_eq!(!v["manifest"].is_null(), is_last);
+    }
+    let manifest = &parsed.last().unwrap()["manifest"];
+    let trace = &manifest["trace"];
+    assert_eq!(trace["source"].as_str(), Some("synthetic:golden 3x10000"));
+    assert_eq!(trace["seed"].as_u64(), Some(77));
+    // One phase per trace segment.
+    let phases = manifest["phases"].as_array().unwrap();
+    assert_eq!(phases.len(), run.manifest.phases.len());
+}
+
+#[test]
+fn final_snapshot_matches_run_outcome_totals() {
+    let (lines, run) = short_run(5_000);
+    let last: Value = serde_json::from_str(lines.last().unwrap()).unwrap();
+    let h = &run.outcome.hierarchy;
+    assert_eq!(counter(&last, "refs_total"), h.processor_refs);
+    assert_eq!(counter(&last, "flushes_total"), h.flushes);
+    assert_eq!(counter(&last, "l2_read_ins_total"), h.read_ins);
+    assert_eq!(counter(&last, "l2_read_in_hits_total"), h.read_in_hits);
+    assert_eq!(counter(&last, "l2_write_backs_total"), h.write_backs);
+    for s in &run.outcome.strategies {
+        let by = |metric: &str| counter(&last, &labeled(metric, "strategy", &s.name));
+        assert_eq!(by("probe_hits_total"), s.probes.hits.count, "{}", s.name);
+        assert_eq!(
+            by("probe_misses_total"),
+            s.probes.misses.count,
+            "{}",
+            s.name
+        );
+        assert_eq!(by("hit_probes_total"), s.probes.hits.probes, "{}", s.name);
+        assert_eq!(
+            by("miss_probes_total"),
+            s.probes.misses.probes,
+            "{}",
+            s.name
+        );
+        assert_eq!(
+            by("write_back_probes_total"),
+            s.probes.write_backs.probes,
+            "{}",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn snapshot_every_zero_emits_only_the_final_line() {
+    let (lines, _) = short_run(0);
+    assert_eq!(lines.len(), 1);
+    let v: Value = serde_json::from_str(&lines[0]).unwrap();
+    assert_eq!(v["final"].as_bool(), Some(true));
+}

@@ -95,7 +95,10 @@ fn truncated_mru_lists_interpolate_between_full_and_worst() {
     let l1_list = out.strategy("mru[1]").expect("mru[1]").probes.hit_mean();
     let l2_list = out.strategy("mru[2]").expect("mru[2]").probes.hit_mean();
     assert!(full <= l2_list + 1e-9, "full {full} vs list-2 {l2_list}");
-    assert!(l2_list <= l1_list + 1e-9, "list-2 {l2_list} vs list-1 {l1_list}");
+    assert!(
+        l2_list <= l1_list + 1e-9,
+        "list-2 {l2_list} vs list-1 {l1_list}"
+    );
 }
 
 #[test]
@@ -113,7 +116,10 @@ fn better_transforms_never_cost_more_probes() {
     let xor = total("partial[t=16,s=1,xor]");
     let improved = total("partial[t=16,s=1,improved]");
     assert!(xor <= none + 1e-9, "xor {xor} vs none {none}");
-    assert!(improved <= none + 1e-9, "improved {improved} vs none {none}");
+    assert!(
+        improved <= none + 1e-9,
+        "improved {improved} vs none {none}"
+    );
 }
 
 #[test]
@@ -138,7 +144,11 @@ fn standard_strategy_totals_order_like_figure3() {
     let l1 = CacheConfig::direct_mapped(4 * 1024, 16).expect("valid L1");
     let l2 = CacheConfig::new(32 * 1024, 32, 8).expect("valid L2");
     let out = simulate(l1, l2, workload(), &standard_strategies(8, 16));
-    let totals: Vec<f64> = out.strategies.iter().map(|s| s.probes.total_mean()).collect();
+    let totals: Vec<f64> = out
+        .strategies
+        .iter()
+        .map(|s| s.probes.total_mean())
+        .collect();
     let (trad, naive, mru, partial) = (totals[0], totals[1], totals[2], totals[3]);
     assert!(trad < partial, "traditional {trad} vs partial {partial}");
     assert!(partial < mru, "partial {partial} vs mru {mru}");

@@ -1,0 +1,244 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors a small wall-clock benchmark harness with the same surface:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Statistics are deliberately simple — each benchmark runs a warm-up
+//! iteration plus `sample_size` timed iterations and reports min/median/
+//! mean — with none of the real crate's outlier analysis, HTML reports,
+//! or baseline comparisons. Invoked with `--test` (as `cargo test
+//! --benches` does), every benchmark runs exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver; one per `criterion_group!`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.test_mode { 1 } else { 100 };
+        run_benchmark(name, samples, None, f);
+        self
+    }
+}
+
+/// A collection of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Records the per-iteration workload, reported as elements/sec.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into().id);
+        let samples = if self.criterion.test_mode { 1 } else { self.sample_size };
+        run_benchmark(&id, samples, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; reports are printed
+    /// as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// A benchmark's identifier, optionally parameterized.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An identifier like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The per-iteration workload, used to derive a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures; handed to each benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    remaining: usize,
+}
+
+impl Bencher {
+    /// Times `f`, once per configured sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up draw, untimed.
+        std::hint::black_box(f());
+        for _ in 0..self.remaining {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F>(id: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { samples: Vec::with_capacity(samples), remaining: samples };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} (no measurements)");
+        return;
+    }
+    b.samples.sort();
+    let min = b.samples[0];
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<40} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}{rate}",
+        min, median, mean
+    );
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion { test_mode: true };
+        let mut runs = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        // test_mode forces one timed sample (+ one warm-up draw).
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("forward", "xor").id, "forward/xor");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("g");
+        let mut seen = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(7), &41u64, |b, &x| {
+            b.iter(|| seen = x + 1)
+        });
+        g.finish();
+        assert_eq!(seen, 42);
+    }
+}

@@ -1,0 +1,391 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real crate there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the test RNG stream.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    /// Erases the strategy type, for heterogeneous unions.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident / $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+}
+
+/// String literals act as generators for a small regex subset, like the
+/// real crate: literal characters, the escapes `\PC` (any non-control
+/// character), `\d`, `\w`, `\s`, character classes such as `[a-z0-9]`,
+/// and the quantifiers `*`, `+`, `?` (repetition capped at 32).
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        Literal(char),
+        NonControl,
+        Digit,
+        Word,
+        Space,
+        Class(Vec<(char, char)>),
+    }
+
+    enum Quant {
+        One,
+        Opt,
+        Star,
+        Plus,
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, quant) in parse(pattern) {
+            let reps = match quant {
+                Quant::One => 1,
+                Quant::Opt => rng.gen_range(0u32..2),
+                Quant::Star => rng.gen_range(0u32..33),
+                Quant::Plus => rng.gen_range(1u32..33),
+            };
+            for _ in 0..reps {
+                out.push(sample(&atom, rng));
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<(Atom, Quant)> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        assert_eq!(
+                            chars.next(),
+                            Some('C'),
+                            "vendored proptest only knows the \\PC category"
+                        );
+                        Atom::NonControl
+                    }
+                    Some('d') => Atom::Digit,
+                    Some('w') => Atom::Word,
+                    Some('s') => Atom::Space,
+                    Some('n') => Atom::Literal('\n'),
+                    Some('t') => Atom::Literal('\t'),
+                    Some('r') => Atom::Literal('\r'),
+                    Some(other) => Atom::Literal(other),
+                    None => panic!("dangling escape in pattern {pattern:?}"),
+                },
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        match chars.next() {
+                            Some(']') => break,
+                            Some(lo) => {
+                                if chars.peek() == Some(&'-') {
+                                    chars.next();
+                                    let hi = chars
+                                        .next()
+                                        .filter(|&h| h != ']')
+                                        .unwrap_or_else(|| {
+                                            panic!("unterminated range in {pattern:?}")
+                                        });
+                                    ranges.push((lo, hi));
+                                } else {
+                                    ranges.push((lo, lo));
+                                }
+                            }
+                            None => panic!("unterminated class in {pattern:?}"),
+                        }
+                    }
+                    Atom::Class(ranges)
+                }
+                other => Atom::Literal(other),
+            };
+            let quant = match chars.peek() {
+                Some('*') => {
+                    chars.next();
+                    Quant::Star
+                }
+                Some('+') => {
+                    chars.next();
+                    Quant::Plus
+                }
+                Some('?') => {
+                    chars.next();
+                    Quant::Opt
+                }
+                _ => Quant::One,
+            };
+            atoms.push((atom, quant));
+        }
+        atoms
+    }
+
+    fn sample(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::Digit => (b'0' + rng.gen_range(0u8..10)) as char,
+            Atom::Space => *[' ', '\t'].get(rng.gen_range(0usize..2)).unwrap(),
+            Atom::Word => {
+                const WORD: &[u8] =
+                    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+                WORD[rng.gen_range(0usize..WORD.len())] as char
+            }
+            Atom::NonControl => {
+                // Mostly printable ASCII, with some multi-byte characters
+                // mixed in to exercise UTF-8 handling.
+                if rng.gen_range(0u32..10) < 9 {
+                    (0x20 + rng.gen_range(0u8..0x5F)) as char
+                } else {
+                    const EXOTIC: &[char] = &['é', 'Ω', 'ß', '世', '界', '→', '😀', 'Ф'];
+                    EXOTIC[rng.gen_range(0usize..EXOTIC.len())]
+                }
+            }
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.gen_range(0usize..ranges.len())];
+                char::from_u32(rng.gen_range(lo as u32..=hi as u32))
+                    .expect("class range stays in scalar values")
+            }
+        }
+    }
+}
+
+/// Types with a canonical whole-domain strategy, via [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one value uniformly over the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A weighted choice among type-erased strategies; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; every weight must be positive.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().all(|(w, _)| *w > 0), "weights must be positive");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, strat) in &self.arms {
+            let w = *weight as u64;
+            if pick < w {
+                return strat.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("pick below total weight")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng_for("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let v = (3u8..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = rng_for("map_and_tuple_compose");
+        let s = (0u64..10, 0u8..2).prop_map(|(a, b)| a * 2 + b as u64);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng) < 20);
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let mut rng = rng_for("union_respects_weights_roughly");
+        let s = Union::new(vec![(9, Just(true).boxed()), (1, Just(false).boxed())]);
+        let trues = (0..10_000).filter(|_| s.generate(&mut rng)).count();
+        assert!((8_500..9_500).contains(&trues), "{trues}");
+    }
+
+    #[test]
+    fn vec_lengths_honor_size() {
+        let mut rng = rng_for("vec_lengths_honor_size");
+        let exact = crate::collection::vec(0u8..4, 12);
+        assert_eq!(exact.generate(&mut rng).len(), 12);
+        let ranged = crate::collection::vec(0u8..4, 1..5);
+        for _ in 0..100 {
+            let len = ranged.generate(&mut rng).len();
+            assert!((1..5).contains(&len));
+        }
+    }
+}

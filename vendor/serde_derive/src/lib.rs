@@ -1,0 +1,364 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stand-in.
+//!
+//! Implemented directly over `proc_macro::TokenTree` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the shapes this
+//! workspace derives on:
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit or one-field tuples (newtype).
+//!
+//! Generics, serde attributes, and other exotica are rejected with a
+//! compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (the vendored trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    /// `true` for one-field tuple (newtype) variants, `false` for unit.
+    newtype: bool,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+        }
+    };
+    let code = match (&item, mode) {
+        (Item::Struct { name, fields }, Mode::Serialize) => struct_serialize(name, fields),
+        (Item::Struct { name, fields }, Mode::Deserialize) => struct_deserialize(name, fields),
+        (Item::Enum { name, variants }, Mode::Serialize) => enum_serialize(name, variants),
+        (Item::Enum { name, variants }, Mode::Deserialize) => enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// A cursor over a flat token list.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` attribute pairs (doc comments included).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    self.pos += 1;
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected {what}, found {other:?}")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kind = c.expect_ident("`struct` or `enum`")?;
+    let name = c.expect_ident("item name")?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "vendored serde_derive only supports brace-bodied items; `{name}` has {other:?}"
+            ))
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct { name, fields: parse_named_fields(body)? }),
+        "enum" => Ok(Item::Enum { name, variants: parse_variants(body)? }),
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.at_end() {
+            break;
+        }
+        let field = c.expect_ident("field name")?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{field}`, found {other:?}")),
+        }
+        fields.push(field);
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) => {
+                    let ch = p.as_char();
+                    if ch == '<' {
+                        depth += 1;
+                    } else if ch == '>' {
+                        depth -= 1;
+                    } else if ch == ',' && depth == 0 {
+                        c.pos += 1;
+                        break;
+                    }
+                    c.pos += 1;
+                }
+                _ => c.pos += 1,
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name")?;
+        let newtype = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let has_multiple = Cursor::new(g.stream()).tokens.iter().any(|t| {
+                    matches!(t, TokenTree::Punct(p) if p.as_char() == ',')
+                });
+                // A trailing comma after one type would false-positive here,
+                // but the workspace writes `Variant(Type)` without one.
+                if has_multiple {
+                    return Err(format!(
+                        "vendored serde_derive supports at most one field in variant `{name}`"
+                    ));
+                }
+                c.pos += 1;
+                true
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "vendored serde_derive does not support struct variant `{name}`"
+                ));
+            }
+            _ => false,
+        };
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == '=' {
+                return Err(format!("explicit discriminant on `{name}` is unsupported"));
+            }
+        }
+        variants.push(Variant { name, newtype });
+        // Consume the separating comma, if present.
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == ',' {
+                c.pos += 1;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let inserts: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "m.insert(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::to_value(&self.{f}));\n"
+            )
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut m = ::serde::Map::new();\n\
+                 {inserts}\
+                 ::serde::Value::Object(m)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let builds: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(obj.get({f:?})\
+                 .ok_or_else(|| ::serde::Error::missing_field({f:?}))?)?,\n"
+            )
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let obj = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", v))?;\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {builds}\
+                 }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            if v.newtype {
+                format!(
+                    "{name}::{vn}(x0) => {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert(::std::string::String::from({vn:?}), \
+                                  ::serde::Serialize::to_value(x0));\n\
+                         ::serde::Value::Object(m)\n\
+                     }}\n"
+                )
+            } else {
+                format!(
+                    "{name}::{vn} => ::serde::Value::String(\
+                     ::std::string::String::from({vn:?})),\n"
+                )
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n\
+                     {arms}\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| !v.newtype)
+        .map(|v| {
+            let vn = &v.name;
+            format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n")
+        })
+        .collect();
+    let newtype_arms: String = variants
+        .iter()
+        .filter(|v| v.newtype)
+        .map(|v| {
+            let vn = &v.name;
+            format!(
+                "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                 ::serde::Deserialize::from_value(inner)?)),\n"
+            )
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::Error::msg(\
+                             format!(\"unknown variant {{other:?}} of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                         let (k, inner) = m.iter().next().expect(\"len checked\");\n\
+                         let _ = inner;\n\
+                         match k.as_str() {{\n\
+                             {newtype_arms}\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 format!(\"unknown variant {{other:?}} of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::expected(\
+                         \"{name} variant\", v)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,275 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], the [`json!`] macro,
+//! and the [`Value`] tree (re-exported from the vendored `serde`).
+//!
+//! Rust's default float formatting is shortest-round-trip, so floats
+//! survive `to_string` → `from_str` exactly (the `float_roundtrip`
+//! feature of the real crate is therefore a no-op here).
+
+pub use serde::value::{Map, Number, Value};
+
+mod parse;
+mod print;
+
+/// A serialization or parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.to_value()))
+}
+
+/// Serializes `value` to human-readable, 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.to_value()))
+}
+
+/// Converts `value` into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse::parse(s).map_err(Error)?;
+    T::from_value(&v).map_err(Error::from)
+}
+
+/// Reconstructs a value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    T::from_value(&v).map_err(Error::from)
+}
+
+/// Builds a [`Value`] from JSON-ish literal syntax with interpolated
+/// expressions, like the real `serde_json::json!`. Values may be nested
+/// JSON literals or arbitrary serializable Rust expressions.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Token muncher behind [`json!`]; the same recursive structure as the
+/// real crate's, separating top-level commas from commas inside
+/// interpolated expressions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    //////////////////// array elements ////////////////////
+
+    // Done with trailing comma.
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    // Done without trailing comma.
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    // Next element is `null`.
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    // Next element is `true`.
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    // Next element is `false`.
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    // Next element is an array literal.
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(
+            @array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*
+        )
+    };
+    // Next element is an object literal.
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(
+            @array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*
+        )
+    };
+    // Next element is an expression followed by a comma.
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(
+            @array [$($elems,)* $crate::json_internal!($next),] $($rest)*
+        )
+    };
+    // Last element is an expression without a trailing comma.
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    // Comma after the most recent element.
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    //////////////////// object entries ////////////////////
+
+    // Done.
+    (@object $object:ident () () ()) => {};
+    // Insert the completed entry, then continue after its comma.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(::std::string::String::from($($key)+), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    // Insert the final entry (no trailing comma).
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(::std::string::String::from($($key)+), $value);
+    };
+    // Next value is `null`.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*
+        );
+    };
+    // Next value is `true`.
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*
+        );
+    };
+    // Next value is `false`.
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*
+        );
+    };
+    // Next value is an array literal.
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*
+        );
+    };
+    // Next value is an object literal.
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*
+        );
+    };
+    // Next value is an expression followed by a comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*
+        );
+    };
+    // Final value is an expression without a trailing comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Accumulate the next token into the current key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    //////////////////// primary forms ////////////////////
+
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => {
+        $crate::value_from(&$other)
+    };
+}
+
+/// Support shim for [`json!`]: converts any serializable expression.
+pub fn value_from<T: serde::Serialize>(value: T) -> Value {
+    value.to_value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trips() {
+        let v = json!({
+            "name": "seta",
+            "count": 3u64,
+            "ratio": 0.125,
+            "nested": { "ok": true, "missing": null },
+            "list": [1u64, 2u64, 3u64],
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({ "a": [1u64], "b": "x" });
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"a\": [\n    1\n  ],"), "{text}");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let v = json!({ "k": "line\nbreak \"quoted\" \\slash" });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        assert!(text.contains("\\n"));
+        assert!(text.contains("\\\""));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for f in [0.1, 1.0 / 3.0, 1e-12, 123456.789, f64::MIN_POSITIVE] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, f, "{text}");
+        }
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let n = u64::MAX - 3;
+        let text = to_string(&n).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{unquoted: 1}").is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("{\"a\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn json_macro_interpolates_expressions() {
+        let label = format!("run-{}", 7);
+        let v = json!({ "label": label, "twice": (2 * 21) });
+        assert_eq!(v["label"].as_str(), Some("run-7"));
+        assert_eq!(v["twice"].as_u64(), Some(42));
+    }
+}
