@@ -6,12 +6,15 @@
 //! experiments: table1 table2 fig3 fig4 fig5 fig6 table4 calibrate all
 //!              banked hashrehash warmth invalidation timing contention deep policy extensions
 //!              run (one fully instrumented simulation)
+//!              explain (probe-level event tracing and cost attribution)
 //!   --scale N        shrink the trace by N× (default 1 = full 8M references)
 //!   --seed S         workload seed (default the experiments' fixed seed)
 //!   --json           emit machine-readable JSON instead of text tables
 //!   --metrics F      stream metrics snapshots to F as JSON lines
+//!                    (for explain: write the JSONL report artifact to F)
 //!   --progress       heartbeat refs/sec and ETA to stderr (run only)
-//!   --assoc A        L2 associativity for run (default 4)
+//!   --progress-interval S  seconds between heartbeat lines (default 0.5)
+//!   --assoc A        L2 associativity for run/explain (default 4)
 //!   --prom F         write final Prometheus text exposition to F (run only)
 //! ```
 
@@ -21,6 +24,7 @@ use seta_sim::experiments::{
     banked, contention, deep, fig3, fig4, fig5, fig6, hashrehash, invalidation, policy, table1,
     table2, table4, timing_effective, warmth, ExperimentParams,
 };
+use seta_sim::explain::{explain, ExplainConfig};
 use seta_sim::metered::{simulate_instrumented, MeterConfig};
 use seta_sim::runner::{simulate, standard_strategies};
 use seta_trace::gen::AtumLike;
@@ -36,6 +40,7 @@ struct Options {
     csv: bool,
     metrics: Option<String>,
     progress: bool,
+    progress_interval: Option<u64>,
     assoc: u32,
     prom: Option<String>,
 }
@@ -55,6 +60,7 @@ fn parse_args() -> Result<Options, String> {
         csv: false,
         metrics: None,
         progress: false,
+        progress_interval: None,
         assoc: 4,
         prom: None,
     };
@@ -85,6 +91,13 @@ fn parse_args() -> Result<Options, String> {
                 opts.prom = Some(args.next().ok_or("--prom needs a path")?);
             }
             "--progress" => opts.progress = true,
+            "--progress-interval" => {
+                let v = args.next().ok_or("--progress-interval needs a value")?;
+                opts.progress_interval = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad --progress-interval {v}: {e}"))?,
+                );
+            }
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
             "--version" => {
@@ -99,10 +112,12 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() -> String {
     "usage: paper_tables <experiment> [--scale N] [--seed S] [--json|--csv]\n\
-     \x20                   [--metrics out.jsonl] [--progress] [--assoc A] [--prom out.prom]\n\
+     \x20                   [--metrics out.jsonl] [--progress] [--progress-interval S]\n\
+     \x20                   [--assoc A] [--prom out.prom]\n\
      paper:      table1 table2 fig3 fig4 fig5 fig6 table4 calibrate all\n\
      extensions: banked hashrehash warmth invalidation timing contention deep policy extensions\n\
-     run:        one fully instrumented simulation of the figures hierarchy"
+     run:        one fully instrumented simulation of the figures hierarchy\n\
+     explain:    probe-level event tracing and cost attribution (JSONL via --metrics)"
         .into()
 }
 
@@ -179,6 +194,7 @@ fn run_instrumented(p: &ExperimentParams, opts: &Options) -> Result<(), String> 
     let cfg = MeterConfig {
         snapshot_every: 100_000,
         progress: opts.progress,
+        progress_interval_secs: opts.progress_interval,
         expected_refs: Some(p.trace.total_refs()),
     };
     let mut writer = match &opts.metrics {
@@ -242,6 +258,43 @@ fn run_instrumented(p: &ExperimentParams, opts: &Options) -> Result<(), String> 
             None => String::new(),
         }
     );
+    Ok(())
+}
+
+/// The explain experiment: one fully event-traced simulation of the
+/// figures hierarchy. Prints the human-readable attribution report (or the
+/// JSONL report with `--json`) and writes the JSONL artifact to the
+/// `--metrics` path when given.
+fn run_explain(p: &ExperimentParams, opts: &Options) -> Result<(), String> {
+    let preset = p.preset;
+    let l1 = preset.l1().map_err(|e| e.to_string())?;
+    let l2 = preset.l2(opts.assoc).map_err(|e| e.to_string())?;
+    let strategies = standard_strategies(opts.assoc, p.tag_bits);
+    let (outcome, report) = explain(
+        l1,
+        l2,
+        AtumLike::new(p.trace.clone(), p.seed),
+        &strategies,
+        &ExplainConfig::default(),
+    );
+    if let Some(path) = &opts.metrics {
+        let mut f = BufWriter::new(File::create(path).map_err(|e| format!("create {path}: {e}"))?);
+        report
+            .write_jsonl(&outcome, &mut f)
+            .and_then(|()| f.flush())
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if opts.json {
+        let mut out = std::io::stdout().lock();
+        report
+            .write_jsonl(&outcome, &mut out)
+            .map_err(|e| format!("write report: {e}"))?;
+    } else {
+        print!("{}", report.render(&outcome));
+    }
+    if !report.identities_hold() {
+        return Err("explain: an exact accounting identity failed (bug)".into());
+    }
     Ok(())
 }
 
@@ -373,8 +426,13 @@ fn main() -> ExitCode {
         }
     };
     let p = params(&opts);
-    if opts.experiment == "run" {
-        return match run_instrumented(&p, &opts) {
+    if opts.experiment == "run" || opts.experiment == "explain" {
+        let result = if opts.experiment == "run" {
+            run_instrumented(&p, &opts)
+        } else {
+            run_explain(&p, &opts)
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("{e}");

@@ -6,15 +6,21 @@
 //! trace_tool convert  <in> <out>
 //! trace_tool stats    <in>
 //! trace_tool mattson  <in> [--block N] [--sets N] [--max-assoc N]
+//! trace_tool explain  <in> [--assoc A] [--tag-bits T] [--l1-size B]
+//!                          [--l1-block B] [--l2-size B] [--l2-block B]
+//!                          [--sample-every N]
 //!
 //! Every command also accepts --metrics <out.jsonl> (write a final
-//! metrics/manifest snapshot) and --progress (heartbeat on stderr).
+//! metrics/manifest snapshot; for explain, the full JSONL report),
+//! --progress (heartbeat on stderr) and --progress-interval <secs>.
 //! Formats are chosen by extension: .din (Dinero), .seta (binary),
 //! anything else is the text format.
 //! ```
 
-use seta_cache::MattsonAnalyzer;
+use seta_cache::{CacheConfig, MattsonAnalyzer};
 use seta_obs::{labeled, MetricsRegistry, Progress, RunManifest};
+use seta_sim::explain::{explain, ExplainConfig};
+use seta_sim::runner::standard_strategies;
 use seta_trace::format::{
     BinaryReader, BinaryWriter, DineroReader, DineroWriter, TextReader, TextWriter,
 };
@@ -46,8 +52,11 @@ fn usage() -> String {
      trace_tool convert <in> <out>\n  \
      trace_tool stats <in>\n  \
      trace_tool mattson <in> [--block N] [--sets N] [--max-assoc N]\n  \
+     trace_tool explain <in> [--assoc A] [--tag-bits T] [--l1-size B] [--l1-block B]\n  \
+     \x20                    [--l2-size B] [--l2-block B] [--sample-every N]\n  \
      trace_tool --version\n\
-     every command also accepts --metrics <out.jsonl> and --progress\n\
+     every command also accepts --metrics <out.jsonl>, --progress and\n\
+     --progress-interval <secs>; for explain, --metrics writes the JSONL report\n\
      formats by extension: .din (Dinero), .seta (binary), other (text)"
         .into()
 }
@@ -57,6 +66,7 @@ fn usage() -> String {
 struct Obs {
     metrics: Option<String>,
     progress: bool,
+    progress_interval: Option<u64>,
 }
 
 impl Obs {
@@ -76,12 +86,23 @@ impl Obs {
                 self.progress = true;
                 Ok(true)
             }
+            "--progress-interval" => {
+                let v = args.next().ok_or("--progress-interval needs a value")?;
+                self.progress_interval = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad --progress-interval {v}: {e}"))?,
+                );
+                Ok(true)
+            }
             _ => Ok(false),
         }
     }
 
     fn heartbeat(&self, label: &str, total: Option<u64>) -> Option<Progress> {
-        self.progress.then(|| Progress::new(label, total))
+        self.progress.then(|| match self.progress_interval {
+            Some(secs) => Progress::with_interval_secs(label, total, secs),
+            None => Progress::new(label, total),
+        })
     }
 
     /// Writes one final JSONL snapshot if `--metrics` was given.
@@ -354,6 +375,70 @@ fn mattson(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays a trace file through a two-level hierarchy with probe-level
+/// event tracing, printing the attribution report; `--metrics` writes the
+/// typed JSONL report.
+fn explain_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let input = args.next().ok_or_else(usage)?;
+    let mut assoc = 4u32;
+    let mut tag_bits = 16u32;
+    let mut l1_size = 4 * 1024u64;
+    let mut l1_block = 16u64;
+    let mut l2_size = 16 * 1024u64;
+    let mut l2_block = 32u64;
+    let mut sample_every = 100u64;
+    let mut obs = Obs::default();
+    while let Some(a) = args.next() {
+        if obs.consume(&a, &mut args)? {
+            continue;
+        }
+        match a.as_str() {
+            "--assoc" => assoc = parse_u64(&mut args, "--assoc")? as u32,
+            "--tag-bits" => tag_bits = parse_u64(&mut args, "--tag-bits")? as u32,
+            "--l1-size" => l1_size = parse_u64(&mut args, "--l1-size")?,
+            "--l1-block" => l1_block = parse_u64(&mut args, "--l1-block")?,
+            "--l2-size" => l2_size = parse_u64(&mut args, "--l2-size")?,
+            "--l2-block" => l2_block = parse_u64(&mut args, "--l2-block")?,
+            "--sample-every" => sample_every = parse_u64(&mut args, "--sample-every")?,
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    if !assoc.is_power_of_two() {
+        return Err("--assoc must be a power of two".into());
+    }
+    if sample_every == 0 {
+        return Err("--sample-every must be positive".into());
+    }
+    let l1 = CacheConfig::direct_mapped(l1_size, l1_block).map_err(|e| e.to_string())?;
+    let l2 = CacheConfig::new(l2_size, l2_block, assoc).map_err(|e| e.to_string())?;
+    let mut manifest = manifest_for("explain");
+    manifest.label("l1", l1.label());
+    manifest.label("l2", l2.label());
+    manifest.label("assoc", assoc);
+    let events = manifest.time_phase("read", || read_events(Path::new(&input)))?;
+    let strategies = standard_strategies(assoc, tag_bits);
+    let cfg = ExplainConfig {
+        sample_every,
+        ..ExplainConfig::default()
+    };
+    let (outcome, report) = manifest.time_phase("explain", || {
+        explain(l1, l2, events.iter().copied(), &strategies, &cfg)
+    });
+    manifest.set_trace(&input, events.len() as u64, 0);
+    if let Some(path) = &obs.metrics {
+        let mut f = BufWriter::new(File::create(path).map_err(|e| format!("create {path}: {e}"))?);
+        report
+            .write_jsonl(&outcome, &mut f)
+            .and_then(|()| f.flush())
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    print!("{}", report.render(&outcome));
+    if !report.identities_hold() {
+        return Err("explain: an exact accounting identity failed (bug)".into());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let cmd = match args.next() {
@@ -368,6 +453,7 @@ fn main() -> ExitCode {
         "convert" => convert(args),
         "stats" => stats(args),
         "mattson" => mattson(args),
+        "explain" => explain_cmd(args),
         "--version" | "-V" => {
             println!("trace_tool {}", env!("CARGO_PKG_VERSION"));
             return ExitCode::SUCCESS;

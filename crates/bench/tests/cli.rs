@@ -25,6 +25,12 @@ fn tmp(name: &str) -> PathBuf {
     p
 }
 
+/// The tiny Dinero trace bundled at the workspace root, resolved
+/// relative to this crate so the test works from any cwd.
+fn tiny_trace() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../traces/tiny.din")
+}
+
 #[test]
 fn paper_tables_version_succeeds() {
     let out = paper_tables(&["--version"]);
@@ -80,6 +86,82 @@ fn paper_tables_run_writes_parseable_jsonl_metrics() {
         .as_str()
         .unwrap()
         .starts_with("synthetic:"));
+}
+
+#[test]
+fn paper_tables_explain_writes_typed_jsonl_with_passing_identities() {
+    let metrics = tmp("explain.jsonl");
+    let out = paper_tables(&[
+        "explain",
+        "--scale",
+        "40",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let _ = std::fs::remove_file(&metrics);
+    let first: serde_json::Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+    assert_eq!(first["type"].as_str(), Some("summary"));
+    assert_eq!(first["identities_hold"].as_bool(), Some(true));
+    let mut strategies = 0;
+    let mut checks = 0;
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("line parses");
+        match v["type"].as_str().unwrap() {
+            "strategy" => strategies += 1,
+            "check" => checks += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(strategies, 4, "one line per standard strategy");
+    assert!(checks > 0);
+    // The report proper goes to stdout, not the artifact.
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("probe attribution"), "{report}");
+}
+
+#[test]
+fn trace_tool_explain_reports_on_the_bundled_trace() {
+    let metrics = tmp("trace-explain.jsonl");
+    let out = trace_tool(&[
+        "explain",
+        tiny_trace(),
+        "--sample-every",
+        "50",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let _ = std::fs::remove_file(&metrics);
+    let mut kinds = std::collections::HashMap::new();
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("line parses");
+        *kinds
+            .entry(v["type"].as_str().unwrap().to_owned())
+            .or_insert(0u32) += 1;
+    }
+    assert_eq!(kinds["summary"], 1);
+    assert_eq!(kinds["mru_distribution"], 1);
+    assert!(kinds["check"] > 0);
+    assert!(kinds["event"] > 0, "sampling 1-in-50 must retain events");
+}
+
+#[test]
+fn trace_tool_explain_rejects_non_power_of_two_assoc() {
+    let out = trace_tool(&["explain", tiny_trace(), "--assoc", "3"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("power of two"), "{err}");
 }
 
 #[test]

@@ -94,6 +94,20 @@ pub trait MetricsSink {
     /// Called once per L2 request, with its kind and outcome.
     fn on_l2(&mut self, _kind: L2RequestKind, _hit: bool) {}
 
+    /// Called once per L2 request with set-level detail: the target set
+    /// index, the request kind and outcome, and — for hits — the block's
+    /// pre-access recency position. This is what per-set heatmaps and
+    /// MRU-position histograms consume without needing a full
+    /// [`L2Observer`] borrow of the set's frames.
+    fn on_l2_set(
+        &mut self,
+        _set: u64,
+        _kind: L2RequestKind,
+        _hit: bool,
+        _mru_distance: Option<usize>,
+    ) {
+    }
+
     /// Called once per flush (segment boundary).
     fn on_flush(&mut self) {}
 }
@@ -396,6 +410,7 @@ impl TwoLevel {
         let is_write = kind == L2RequestKind::WriteBack;
         let result = self.l2.access(addr, is_write);
         sink.on_l2(kind, result.hit);
+        sink.on_l2_set(set, kind, result.hit, mru_distance);
         match kind {
             L2RequestKind::ReadIn => {
                 self.stats.read_ins += 1;
@@ -785,6 +800,44 @@ mod tests {
         assert_eq!(sink.write_backs, s.write_backs);
         assert_eq!(sink.flushes, s.flushes);
         assert_eq!(sink.l1_hits, 1);
+    }
+
+    /// Records the set-level sink callbacks for comparison with the
+    /// observer's pre-access view.
+    #[derive(Default)]
+    struct SetSink {
+        seen: Vec<(u64, L2RequestKind, bool, Option<usize>)>,
+    }
+
+    impl MetricsSink for SetSink {
+        fn on_l2_set(
+            &mut self,
+            set: u64,
+            kind: L2RequestKind,
+            hit: bool,
+            mru_distance: Option<usize>,
+        ) {
+            self.seen.push((set, kind, hit, mru_distance));
+        }
+    }
+
+    #[test]
+    fn set_sink_mirrors_observer_views() {
+        let mut h = hierarchy();
+        let mut sink = SetSink::default();
+        let mut views: Vec<(u64, L2RequestKind, bool, Option<usize>)> = Vec::new();
+        let mut obs = |req: &L2RequestView<'_>| {
+            views.push((req.set, req.kind, req.hit, req.mru_distance));
+        };
+        for i in 0..48u64 {
+            h.step_metered(&TraceRecord::write(i * 48), &mut obs, &mut sink);
+        }
+        assert_eq!(sink.seen.len() as u64, h.stats().l2_requests());
+        assert_eq!(sink.seen, views, "sink detail matches observer detail");
+        assert!(
+            sink.seen.iter().any(|(_, _, hit, _)| *hit),
+            "workload produced at least one L2 hit"
+        );
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! Submodules:
 //!
 //! * [`lookup`] — the four strategies behind the [`LookupStrategy`] trait.
+//! * [`observe`] — the zero-cost [`ProbeObserver`] hook exposing the
+//!   micro-events behind each lookup's probe count.
 //! * [`transform`] — GF(2)-linear tag transformations that randomize the
 //!   high tag bits so partial compares behave (§2.2 and Figure 6).
 //! * [`model`] — the closed-form expected-probe formulas of Table 1.
@@ -54,6 +56,7 @@ pub mod contention;
 pub mod dist;
 pub mod lookup;
 pub mod model;
+pub mod observe;
 pub mod probe;
 pub mod set_view;
 pub mod timing;
@@ -61,5 +64,6 @@ pub mod transform;
 
 pub use dist::MruDistanceHistogram;
 pub use lookup::{Lookup, LookupStrategy};
+pub use observe::ProbeObserver;
 pub use probe::{ProbeStats, Tally};
 pub use set_view::{SetView, MAX_ASSOC};

@@ -8,6 +8,7 @@
 //! of `b` — `⌈a/b⌉` probes on a miss instead of `a`.
 
 use crate::lookup::{Lookup, LookupStrategy};
+use crate::observe::ProbeObserver;
 use crate::set_view::SetView;
 
 /// The order in which a [`Banked`] lookup visits way groups.
@@ -76,17 +77,19 @@ impl Banked {
         self.order
     }
 
-    fn scan<I>(&self, view: &SetView, tag: u64, ways: I, base_probes: u32) -> Lookup
+    fn scan<I, P>(&self, view: &SetView, tag: u64, ways: I, base_probes: u32, obs: &mut P) -> Lookup
     where
         I: Iterator<Item = u8>,
+        P: ProbeObserver + ?Sized,
     {
+        let total = view.ways() as u32;
         let mut probes = base_probes;
-        let mut in_group = 0;
-        for w in ways {
-            if in_group == 0 {
+        for (visited, w) in ways.enumerate() {
+            let visited = visited as u32;
+            if visited.is_multiple_of(self.banks) {
                 probes += 1;
+                obs.group_probe(visited / self.banks, self.banks.min(total - visited) as u8);
             }
-            in_group = (in_group + 1) % self.banks;
             if view.is_valid(w as usize) && view.tag(w as usize) == tag {
                 return Lookup {
                     hit_way: Some(w),
@@ -99,20 +102,32 @@ impl Banked {
             probes,
         }
     }
-}
 
-impl LookupStrategy for Banked {
-    fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
+    fn search<P: ProbeObserver + ?Sized>(&self, view: &SetView, tag: u64, obs: &mut P) -> Lookup {
         if view.ways() == 1 {
+            obs.tag_probe(0);
             return Lookup {
                 hit_way: view.matching_way(tag),
                 probes: 1,
             };
         }
         match self.order {
-            ScanOrder::Frame => self.scan(view, tag, 0..view.ways() as u8, 0),
-            ScanOrder::Mru => self.scan(view, tag, view.order().iter().copied(), 1),
+            ScanOrder::Frame => self.scan(view, tag, 0..view.ways() as u8, 0, obs),
+            ScanOrder::Mru => {
+                obs.mru_list_read();
+                self.scan(view, tag, view.order().iter().copied(), 1, obs)
+            }
         }
+    }
+}
+
+impl LookupStrategy for Banked {
+    fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
+        self.search(view, tag, &mut ())
+    }
+
+    fn lookup_observed(&self, view: &SetView, tag: u64, obs: &mut dyn ProbeObserver) -> Lookup {
+        self.search(view, tag, obs)
     }
 
     fn name(&self) -> String {

@@ -35,6 +35,7 @@ pub use naive::Naive;
 pub use partial::{PartialCompare, TransformKind};
 pub use traditional::Traditional;
 
+use crate::observe::ProbeObserver;
 use crate::set_view::SetView;
 
 /// Result of pricing one lookup.
@@ -62,6 +63,20 @@ pub trait LookupStrategy {
     /// stored tags (e.g. [`PartialCompare`]) extract the bits they need.
     fn lookup(&self, view: &SetView, tag: u64) -> Lookup;
 
+    /// [`lookup`](Self::lookup) with a [`ProbeObserver`] receiving the
+    /// micro-events behind the probe count (ways scanned, MRU-list reads,
+    /// partial-compare candidates and false matches).
+    ///
+    /// Returns exactly what `lookup` returns: observation never changes
+    /// the search. The default implementation forwards to `lookup` and
+    /// emits nothing; every strategy in this module overrides it with the
+    /// shared search code, so the un-instrumented `lookup` path
+    /// monomorphizes the observer hooks away while this entry point pays
+    /// one dynamic dispatch per event.
+    fn lookup_observed(&self, view: &SetView, tag: u64, _obs: &mut dyn ProbeObserver) -> Lookup {
+        self.lookup(view, tag)
+    }
+
     /// Short name for reports, e.g. `"mru"` or `"partial"`.
     fn name(&self) -> String;
 }
@@ -70,6 +85,49 @@ pub trait LookupStrategy {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// Counts every observer event; the implied probe total must equal the
+    /// [`Lookup`]'s probe count for every strategy.
+    #[derive(Debug, Default, PartialEq, Eq)]
+    struct EventCount {
+        tag_probes: u32,
+        group_probes: u32,
+        list_reads: u32,
+        partial_probes: u32,
+        candidates: u32,
+        false_matches: u32,
+    }
+
+    impl EventCount {
+        fn implied_probes(&self) -> u32 {
+            self.tag_probes
+                + self.group_probes
+                + self.list_reads
+                + self.partial_probes
+                + self.candidates
+        }
+    }
+
+    impl ProbeObserver for EventCount {
+        fn tag_probe(&mut self, _way: u8) {
+            self.tag_probes += 1;
+        }
+        fn group_probe(&mut self, _group: u32, _ways: u8) {
+            self.group_probes += 1;
+        }
+        fn mru_list_read(&mut self) {
+            self.list_reads += 1;
+        }
+        fn partial_probe(&mut self, _subset: u32) {
+            self.partial_probes += 1;
+        }
+        fn partial_candidate(&mut self, _way: u8, matched: bool) {
+            self.candidates += 1;
+            if !matched {
+                self.false_matches += 1;
+            }
+        }
+    }
 
     fn all_strategies() -> Vec<Box<dyn LookupStrategy>> {
         vec![
@@ -117,6 +175,42 @@ mod tests {
                     "{} disagrees with oracle", strat.name()
                 );
                 prop_assert!(r.probes >= 1, "{} claims a free lookup", strat.name());
+            }
+        }
+
+        /// Observation is free of side effects: `lookup_observed` returns
+        /// exactly what `lookup` returns, and the emitted events account
+        /// for every probe charged.
+        #[test]
+        fn observed_lookup_matches_and_events_account_for_probes(
+            tags in proptest::collection::vec(0u64..0x10000, 8),
+            valid in proptest::collection::vec(any::<bool>(), 8),
+            probe_tag in 0u64..0x10000,
+        ) {
+            let mut tags = tags;
+            for (i, t) in tags.iter_mut().enumerate() {
+                *t = (*t << 3) | i as u64;
+            }
+            let order: Vec<u8> = [5, 2, 7, 0, 3, 6, 1, 4].to_vec();
+            let view = SetView::from_parts(&tags, &valid, &order);
+            for strat in all_strategies() {
+                let plain = strat.lookup(&view, probe_tag);
+                let mut events = EventCount::default();
+                let observed = strat.lookup_observed(&view, probe_tag, &mut events);
+                prop_assert_eq!(plain, observed, "{} changed under observation", strat.name());
+                prop_assert_eq!(
+                    events.implied_probes(),
+                    plain.probes,
+                    "{} events {:?} do not account for the probes",
+                    strat.name(),
+                    events
+                );
+                // A hit's final candidate matched; every earlier one was false.
+                if plain.is_hit() && events.candidates > 0 {
+                    prop_assert_eq!(events.false_matches, events.candidates - 1);
+                } else {
+                    prop_assert_eq!(events.false_matches, events.candidates);
+                }
             }
         }
 

@@ -1,6 +1,7 @@
 //! The MRU-ordered serial implementation.
 
 use crate::lookup::{Lookup, LookupStrategy};
+use crate::observe::ProbeObserver;
 use crate::set_view::SetView;
 
 /// The MRU serial implementation (§2.1 of the paper): one probe reads the
@@ -69,20 +70,21 @@ impl Mru {
         let tail = (0..view.ways() as u8).filter(move |w| !order[..listed].contains(w));
         head.chain(tail)
     }
-}
 
-impl LookupStrategy for Mru {
-    fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
+    fn search<P: ProbeObserver + ?Sized>(&self, view: &SetView, tag: u64, obs: &mut P) -> Lookup {
         if view.ways() == 1 {
             // Direct-mapped: no list, single compare.
+            obs.tag_probe(0);
             return Lookup {
                 hit_way: view.matching_way(tag),
                 probes: 1,
             };
         }
         let mut probes = 1; // reading the MRU list
+        obs.mru_list_read();
         for w in self.search_order(view) {
             probes += 1;
+            obs.tag_probe(w);
             if view.is_valid(w as usize) && view.tag(w as usize) == tag {
                 return Lookup {
                     hit_way: Some(w),
@@ -94,6 +96,16 @@ impl LookupStrategy for Mru {
             hit_way: None,
             probes,
         }
+    }
+}
+
+impl LookupStrategy for Mru {
+    fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
+        self.search(view, tag, &mut ())
+    }
+
+    fn lookup_observed(&self, view: &SetView, tag: u64, obs: &mut dyn ProbeObserver) -> Lookup {
+        self.search(view, tag, obs)
     }
 
     fn name(&self) -> String {

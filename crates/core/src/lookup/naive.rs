@@ -1,6 +1,7 @@
 //! The naive serial implementation.
 
 use crate::lookup::{Lookup, LookupStrategy};
+use crate::observe::ProbeObserver;
 use crate::set_view::SetView;
 
 /// The naive serial implementation (Figure 1b of the paper): the stored
@@ -23,9 +24,10 @@ use crate::set_view::SetView;
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Naive;
 
-impl LookupStrategy for Naive {
-    fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
+impl Naive {
+    fn search<P: ProbeObserver + ?Sized>(&self, view: &SetView, tag: u64, obs: &mut P) -> Lookup {
         for w in 0..view.ways() {
+            obs.tag_probe(w as u8);
             if view.is_valid(w) && view.tag(w) == tag {
                 return Lookup {
                     hit_way: Some(w as u8),
@@ -37,6 +39,16 @@ impl LookupStrategy for Naive {
             hit_way: None,
             probes: view.ways() as u32,
         }
+    }
+}
+
+impl LookupStrategy for Naive {
+    fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
+        self.search(view, tag, &mut ())
+    }
+
+    fn lookup_observed(&self, view: &SetView, tag: u64, obs: &mut dyn ProbeObserver) -> Lookup {
+        self.search(view, tag, obs)
     }
 
     fn name(&self) -> String {

@@ -1,6 +1,7 @@
 //! The partial-compare implementation.
 
 use crate::lookup::{Lookup, LookupStrategy};
+use crate::observe::ProbeObserver;
 use crate::set_view::SetView;
 use crate::transform::{Improved, TagTransform, XorFold};
 
@@ -149,12 +150,11 @@ impl PartialCompare {
         };
         (transformed_tag >> shift) & ((1u64 << k) - 1)
     }
-}
 
-impl LookupStrategy for PartialCompare {
-    fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
+    fn search<P: ProbeObserver + ?Sized>(&self, view: &SetView, tag: u64, obs: &mut P) -> Lookup {
         let ways = view.ways();
         if ways == 1 {
+            obs.tag_probe(0);
             return Lookup {
                 hit_way: view.matching_way(tag),
                 probes: 1,
@@ -168,6 +168,7 @@ impl LookupStrategy for PartialCompare {
         let mut hit_way = None;
         'subsets: for subset in 0..self.subsets as usize {
             probes += 1; // step one: the concurrent partial compare
+            obs.partial_probe(subset as u32);
             for slot in 0..per_subset {
                 let w = subset * per_subset + slot;
                 if !view.is_valid(w) {
@@ -179,13 +180,25 @@ impl LookupStrategy for PartialCompare {
                 }
                 // Step two: serial full compare of this partial matcher.
                 probes += 1;
-                if view.tag(w) == tag {
+                let matched = view.tag(w) == tag;
+                obs.partial_candidate(w as u8, matched);
+                if matched {
                     hit_way = Some(w as u8);
                     break 'subsets;
                 }
             }
         }
         Lookup { hit_way, probes }
+    }
+}
+
+impl LookupStrategy for PartialCompare {
+    fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
+        self.search(view, tag, &mut ())
+    }
+
+    fn lookup_observed(&self, view: &SetView, tag: u64, obs: &mut dyn ProbeObserver) -> Lookup {
+        self.search(view, tag, obs)
     }
 
     fn name(&self) -> String {

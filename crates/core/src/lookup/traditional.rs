@@ -1,6 +1,7 @@
 //! The traditional parallel implementation.
 
 use crate::lookup::{Lookup, LookupStrategy};
+use crate::observe::ProbeObserver;
 use crate::set_view::SetView;
 
 /// The traditional implementation: all `a` stored tags are read from an
@@ -23,12 +24,24 @@ use crate::set_view::SetView;
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Traditional;
 
-impl LookupStrategy for Traditional {
-    fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
+impl Traditional {
+    fn search<P: ProbeObserver + ?Sized>(&self, view: &SetView, tag: u64, obs: &mut P) -> Lookup {
+        // The whole set is read and compared in a single wide probe.
+        obs.group_probe(0, view.ways() as u8);
         Lookup {
             hit_way: view.matching_way(tag),
             probes: 1,
         }
+    }
+}
+
+impl LookupStrategy for Traditional {
+    fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
+        self.search(view, tag, &mut ())
+    }
+
+    fn lookup_observed(&self, view: &SetView, tag: u64, obs: &mut dyn ProbeObserver) -> Lookup {
+        self.search(view, tag, obs)
     }
 
     fn name(&self) -> String {

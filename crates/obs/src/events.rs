@@ -1,0 +1,573 @@
+//! Probe-level event sinks and streaming aggregators.
+//!
+//! The simulator emits one [`ProbeEvent`] per (request, strategy) pair —
+//! at paper scale that is tens of millions of events, far too many to
+//! buffer. This module keeps event handling O(1) per event and bounded in
+//! memory:
+//!
+//! * [`EventRing`] — a bounded ring buffer with deterministic 1-in-N
+//!   sampling, so a run keeps a representative, reproducible slice of raw
+//!   events for inspection;
+//! * [`SetHeatmap`] — per-set access/miss counters with hottest-set and
+//!   worst-conflict queries;
+//! * [`PositionHistogram`] — hit counts by scan position (MRU distance),
+//!   yielding the measured `f_i` distribution and the serial-scan probe
+//!   cost `1 + Σ (i+1)·f_i` it implies;
+//! * [`FalseMatchStats`] — per-configuration partial-compare candidate and
+//!   false-match tallies.
+//!
+//! Like the rest of this crate, everything here is generic bookkeeping
+//! over indices and counts: the simulator decides what a "set" or a
+//! "position" means.
+
+use serde::{Deserialize, Serialize};
+
+/// One fully-attributed lookup: which strategy searched which set, the
+/// outcome, and where the probes went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeEvent {
+    /// 0-based sequence number of the request this lookup priced.
+    pub seq: u64,
+    /// Index of the strategy that performed the lookup.
+    pub strategy: u32,
+    /// Target set index.
+    pub set: u64,
+    /// Whether the request was a write-back (`false` = read-in).
+    pub write_back: bool,
+    /// Whether the lookup hit.
+    pub hit: bool,
+    /// Probes the search cost.
+    pub probes: u32,
+    /// Pre-access recency position of the hit block (0 = MRU), on hits.
+    pub mru_distance: Option<u32>,
+    /// Stored tags that passed a partial compare and were full-compared.
+    pub candidates: u32,
+    /// Candidates whose full compare then failed.
+    pub false_matches: u32,
+}
+
+/// A bounded ring buffer of [`ProbeEvent`]s with deterministic 1-in-N
+/// sampling.
+///
+/// Sampling is by sequence: the event for request `seq` is kept iff
+/// `seq % sample_every == 0`, so two runs over the same trace sample the
+/// same requests — no RNG, no clock. Once `capacity` samples are held the
+/// oldest is overwritten (and counted in
+/// [`overwritten`](EventRing::overwritten)), so memory stays bounded no
+/// matter how long the run is.
+///
+/// # Example
+///
+/// ```
+/// use seta_obs::events::{EventRing, ProbeEvent};
+///
+/// let mut ring = EventRing::new(2, 10);
+/// for seq in 0..40 {
+///     ring.offer(seq, || ProbeEvent {
+///         seq, strategy: 0, set: 0, write_back: false, hit: false,
+///         probes: 1, mru_distance: None, candidates: 0, false_matches: 0,
+///     });
+/// }
+/// assert_eq!(ring.seen(), 40);
+/// assert_eq!(ring.sampled(), 4); // seqs 0, 10, 20, 30
+/// let kept: Vec<u64> = ring.events().map(|e| e.seq).collect();
+/// assert_eq!(kept, vec![20, 30]); // oldest two overwritten
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<ProbeEvent>,
+    /// Index the next sample lands on, once the ring is full.
+    head: usize,
+    capacity: usize,
+    sample_every: u64,
+    seen: u64,
+    sampled: u64,
+    overwritten: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events, sampling one request in
+    /// `sample_every`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `sample_every` is zero.
+    pub fn new(capacity: usize, sample_every: u64) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        assert!(sample_every > 0, "sampling period must be positive");
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            sample_every,
+            seen: 0,
+            sampled: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Whether the request numbered `seq` is in the sample.
+    pub fn samples(&self, seq: u64) -> bool {
+        seq.is_multiple_of(self.sample_every)
+    }
+
+    /// Offers one event; `make` is only called when `seq` is sampled, so
+    /// un-sampled requests cost one modulo and nothing else.
+    pub fn offer<F: FnOnce() -> ProbeEvent>(&mut self, seq: u64, make: F) {
+        self.seen += 1;
+        if !self.samples(seq) {
+            return;
+        }
+        self.sampled += 1;
+        let event = make();
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &ProbeEvent> {
+        self.buf[self.head..].iter().chain(&self.buf[..self.head])
+    }
+
+    /// Events offered (sampled or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events that passed the sampling filter.
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+
+    /// Sampled events later evicted by newer ones.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// The sampling period N (one request in N is kept).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Per-set access and miss counters — the conflict heatmap of a run.
+///
+/// Sets are dense small integers, so the map is a pair of vectors grown on
+/// demand; recording is O(1) and memory is one pair of u64s per touched
+/// set.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetHeatmap {
+    accesses: Vec<u64>,
+    misses: Vec<u64>,
+}
+
+impl SetHeatmap {
+    /// An empty heatmap.
+    pub fn new() -> Self {
+        SetHeatmap::default()
+    }
+
+    /// Records one access to `set`.
+    pub fn record(&mut self, set: u64, hit: bool) {
+        let i = set as usize;
+        if self.accesses.len() <= i {
+            self.accesses.resize(i + 1, 0);
+            self.misses.resize(i + 1, 0);
+        }
+        self.accesses[i] += 1;
+        if !hit {
+            self.misses[i] += 1;
+        }
+    }
+
+    /// Accesses recorded for `set`.
+    pub fn accesses(&self, set: u64) -> u64 {
+        self.accesses.get(set as usize).copied().unwrap_or(0)
+    }
+
+    /// Misses recorded for `set`.
+    pub fn misses(&self, set: u64) -> u64 {
+        self.misses.get(set as usize).copied().unwrap_or(0)
+    }
+
+    /// Total accesses across all sets.
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses.iter().sum()
+    }
+
+    /// Number of distinct sets touched.
+    pub fn touched_sets(&self) -> usize {
+        self.accesses.iter().filter(|&&a| a > 0).count()
+    }
+
+    /// The `n` most-accessed sets as `(set, accesses, misses)`, busiest
+    /// first; ties break toward the lower set index.
+    pub fn hottest(&self, n: usize) -> Vec<(u64, u64, u64)> {
+        self.top_by(n, &self.accesses)
+    }
+
+    /// The `n` sets with the most misses (conflict victims), worst first.
+    pub fn most_conflicted(&self, n: usize) -> Vec<(u64, u64, u64)> {
+        self.top_by(n, &self.misses)
+    }
+
+    fn top_by(&self, n: usize, key: &[u64]) -> Vec<(u64, u64, u64)> {
+        let mut sets: Vec<usize> = (0..key.len()).filter(|&i| key[i] > 0).collect();
+        sets.sort_by_key(|&i| (std::cmp::Reverse(key[i]), i));
+        sets.truncate(n);
+        sets.into_iter()
+            .map(|i| (i as u64, self.accesses[i], self.misses[i]))
+            .collect()
+    }
+}
+
+/// Hit counts by 0-based scan position — the measured `f_i` distribution.
+///
+/// Position `i` means the hit was to the `(i+1)`-th entry in the scan
+/// order (for an MRU scan, MRU distance `i`). The histogram yields the
+/// fraction at each position and the expected serial-scan probe cost
+/// `1 + Σ (i+1)·f(i)` that distribution implies — the quantity the
+/// paper's MRU formula predicts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PositionHistogram {
+    counts: Vec<u64>,
+}
+
+impl PositionHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        PositionHistogram::default()
+    }
+
+    /// Records one hit at 0-based position `position`.
+    pub fn record(&mut self, position: usize) {
+        if self.counts.len() <= position {
+            self.counts.resize(position + 1, 0);
+        }
+        self.counts[position] += 1;
+    }
+
+    /// Raw count at a position.
+    pub fn count(&self, position: usize) -> u64 {
+        self.counts.get(position).copied().unwrap_or(0)
+    }
+
+    /// Total hits recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of positions with at least one hit recorded beneath them
+    /// (the histogram's length).
+    pub fn positions(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `f(i)`: fraction of hits at position `i` (0 when empty).
+    pub fn f(&self, position: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(position) as f64 / total as f64
+        }
+    }
+
+    /// The full normalized distribution.
+    pub fn distribution(&self) -> Vec<f64> {
+        (0..self.counts.len()).map(|i| self.f(i)).collect()
+    }
+
+    /// Mean position (0 when empty).
+    pub fn mean_position(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            let weighted: u64 = self
+                .counts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| i as u64 * c)
+                .sum();
+            weighted as f64 / total as f64
+        }
+    }
+
+    /// Expected probes for a list-guided serial scan hitting under this
+    /// distribution: `1 + Σ (i+1)·f(i)` (1 when empty).
+    pub fn expected_scan_probes(&self) -> f64 {
+        1.0 + (0..self.counts.len())
+            .map(|i| (i as f64 + 1.0) * self.f(i))
+            .sum::<f64>()
+    }
+}
+
+/// Partial-compare selectivity for one configuration: how many lookups
+/// ran, how many step-two candidates they examined, and how many of those
+/// were false matches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FalseMatchTally {
+    /// Lookups recorded.
+    pub lookups: u64,
+    /// Stored tags that passed step one and were full-compared.
+    pub candidates: u64,
+    /// Candidates whose full compare failed.
+    pub false_matches: u64,
+}
+
+impl FalseMatchTally {
+    /// False matches per lookup (0 when empty).
+    pub fn false_match_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.false_matches as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of candidates that were false matches (0 when empty).
+    pub fn false_candidate_fraction(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.false_matches as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// [`FalseMatchTally`]s keyed by configuration label (e.g. `"k=4,xor"`).
+///
+/// Configurations are few, so lookup is a linear name scan exactly like
+/// the metrics registry; the per-event path takes a pre-resolved index.
+#[derive(Debug, Clone, Default)]
+pub struct FalseMatchStats {
+    configs: Vec<(String, FalseMatchTally)>,
+}
+
+impl FalseMatchStats {
+    /// An empty table.
+    pub fn new() -> Self {
+        FalseMatchStats::default()
+    }
+
+    /// Registers (or finds) a configuration, returning its index for the
+    /// recording path. Registration is idempotent by label.
+    pub fn config(&mut self, label: &str) -> usize {
+        if let Some(i) = self.configs.iter().position(|(l, _)| l == label) {
+            return i;
+        }
+        self.configs
+            .push((label.to_owned(), FalseMatchTally::default()));
+        self.configs.len() - 1
+    }
+
+    /// Records one lookup's candidate and false-match counts.
+    pub fn record(&mut self, config: usize, candidates: u32, false_matches: u32) {
+        let t = &mut self.configs[config].1;
+        t.lookups += 1;
+        t.candidates += candidates as u64;
+        t.false_matches += false_matches as u64;
+    }
+
+    /// The tally for a configuration by label.
+    pub fn tally(&self, label: &str) -> Option<&FalseMatchTally> {
+        self.configs
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, t)| t)
+    }
+
+    /// All configurations, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &FalseMatchTally)> {
+        self.configs.iter().map(|(l, t)| (l.as_str(), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(seq: u64) -> ProbeEvent {
+        ProbeEvent {
+            seq,
+            strategy: 0,
+            set: seq % 4,
+            write_back: false,
+            hit: seq.is_multiple_of(2),
+            probes: 1,
+            mru_distance: None,
+            candidates: 0,
+            false_matches: 0,
+        }
+    }
+
+    #[test]
+    fn ring_samples_deterministically() {
+        let mut a = EventRing::new(64, 3);
+        let mut b = EventRing::new(64, 3);
+        for seq in 0..30 {
+            a.offer(seq, || event(seq));
+            b.offer(seq, || event(seq));
+        }
+        let sa: Vec<u64> = a.events().map(|e| e.seq).collect();
+        let sb: Vec<u64> = b.events().map(|e| e.seq).collect();
+        assert_eq!(sa, sb);
+        assert_eq!(sa, vec![0, 3, 6, 9, 12, 15, 18, 21, 24, 27]);
+        assert_eq!(a.seen(), 30);
+        assert_eq!(a.sampled(), 10);
+        assert_eq!(a.overwritten(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let mut ring = EventRing::new(3, 1);
+        for seq in 0..7 {
+            ring.offer(seq, || event(seq));
+        }
+        let kept: Vec<u64> = ring.events().map(|e| e.seq).collect();
+        assert_eq!(kept, vec![4, 5, 6]);
+        assert_eq!(ring.overwritten(), 4);
+        assert_eq!(ring.len(), 3);
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn ring_never_builds_unsampled_events() {
+        let mut ring = EventRing::new(8, 5);
+        let mut built = 0u32;
+        for seq in 0..20 {
+            ring.offer(seq, || {
+                built += 1;
+                event(seq)
+            });
+        }
+        assert_eq!(built, 4, "only seqs 0, 5, 10, 15 are constructed");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        EventRing::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling period")]
+    fn zero_period_panics() {
+        EventRing::new(1, 0);
+    }
+
+    #[test]
+    fn heatmap_counts_and_ranks() {
+        let mut h = SetHeatmap::new();
+        for _ in 0..5 {
+            h.record(2, true);
+        }
+        for _ in 0..3 {
+            h.record(0, false);
+        }
+        h.record(7, false);
+        assert_eq!(h.accesses(2), 5);
+        assert_eq!(h.misses(2), 0);
+        assert_eq!(h.misses(0), 3);
+        assert_eq!(h.accesses(100), 0);
+        assert_eq!(h.total_accesses(), 9);
+        assert_eq!(h.touched_sets(), 3);
+        assert_eq!(h.hottest(2), vec![(2, 5, 0), (0, 3, 3)]);
+        assert_eq!(h.most_conflicted(2), vec![(0, 3, 3), (7, 1, 1)]);
+    }
+
+    #[test]
+    fn heatmap_ties_break_toward_low_sets() {
+        let mut h = SetHeatmap::new();
+        h.record(3, true);
+        h.record(1, true);
+        assert_eq!(h.hottest(2), vec![(1, 1, 0), (3, 1, 0)]);
+    }
+
+    #[test]
+    fn positions_normalize_and_imply_scan_cost() {
+        let mut p = PositionHistogram::new();
+        // f = [0.5, 0.25, 0.25]: E = 1 + 0.5 + 0.5 + 0.75 = 2.75.
+        p.record(0);
+        p.record(0);
+        p.record(1);
+        p.record(2);
+        assert_eq!(p.total(), 4);
+        assert!((p.f(0) - 0.5).abs() < 1e-12);
+        assert!((p.expected_scan_probes() - 2.75).abs() < 1e-12);
+        assert!((p.mean_position() - 0.75).abs() < 1e-12);
+        let d = p.distribution();
+        assert_eq!(d.len(), 3);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_positions_cost_one_probe() {
+        let p = PositionHistogram::new();
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.f(3), 0.0);
+        assert_eq!(p.expected_scan_probes(), 1.0);
+        assert_eq!(p.mean_position(), 0.0);
+        assert!(p.distribution().is_empty());
+    }
+
+    #[test]
+    fn false_match_stats_accumulate_per_config() {
+        let mut s = FalseMatchStats::new();
+        let xor = s.config("k=4,xor");
+        let none = s.config("k=4,none");
+        assert_eq!(s.config("k=4,xor"), xor, "registration is idempotent");
+        s.record(xor, 1, 0);
+        s.record(xor, 3, 2);
+        s.record(none, 4, 4);
+        let t = s.tally("k=4,xor").unwrap();
+        assert_eq!(t.lookups, 2);
+        assert_eq!(t.candidates, 4);
+        assert_eq!(t.false_matches, 2);
+        assert!((t.false_match_rate() - 1.0).abs() < 1e-12);
+        assert!((t.false_candidate_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(s.iter().count(), 2);
+        assert!(s.tally("missing").is_none());
+    }
+
+    #[test]
+    fn empty_tally_rates_are_zero() {
+        let t = FalseMatchTally::default();
+        assert_eq!(t.false_match_rate(), 0.0);
+        assert_eq!(t.false_candidate_fraction(), 0.0);
+    }
+
+    #[test]
+    fn probe_event_round_trips_through_json() {
+        let e = ProbeEvent {
+            seq: 9,
+            strategy: 3,
+            set: 17,
+            write_back: true,
+            hit: true,
+            probes: 4,
+            mru_distance: Some(2),
+            candidates: 2,
+            false_matches: 1,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: ProbeEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

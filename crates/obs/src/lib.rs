@@ -24,8 +24,12 @@ mod manifest;
 mod progress;
 mod registry;
 
+pub mod events;
 pub mod export;
 
+pub use events::{
+    EventRing, FalseMatchStats, FalseMatchTally, PositionHistogram, ProbeEvent, SetHeatmap,
+};
 pub use manifest::{PhaseSpan, RunManifest, TraceIdentity};
 pub use progress::Progress;
 pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, Log2Histogram, MetricsRegistry};
@@ -33,8 +37,21 @@ pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, Log2Histogram, M
 /// Formats a Prometheus-style metric name with one label, e.g.
 /// `probes_total{strategy="mru"}`. Registry names are plain strings;
 /// this is the conventional way to build per-label series.
+///
+/// The value is escaped per the Prometheus text exposition format —
+/// backslash, double quote, and newline become `\\`, `\"`, and `\n`;
+/// everything else (including non-ASCII) passes through literally.
 pub fn labeled(name: &str, label: &str, value: &str) -> String {
-    format!("{name}{{{label}={value:?}}}")
+    let mut escaped = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => escaped.push_str("\\\\"),
+            '"' => escaped.push_str("\\\""),
+            '\n' => escaped.push_str("\\n"),
+            _ => escaped.push(c),
+        }
+    }
+    format!("{name}{{{label}=\"{escaped}\"}}")
 }
 
 #[cfg(test)]
@@ -46,6 +63,35 @@ mod tests {
         assert_eq!(
             labeled("probes_total", "strategy", "mru"),
             "probes_total{strategy=\"mru\"}"
+        );
+    }
+
+    #[test]
+    fn labeled_escapes_per_prometheus_exposition_format() {
+        assert_eq!(
+            labeled("m", "l", "a\\b"),
+            "m{l=\"a\\\\b\"}",
+            "backslash doubles"
+        );
+        assert_eq!(
+            labeled("m", "l", "a\"b"),
+            "m{l=\"a\\\"b\"}",
+            "quote escapes"
+        );
+        assert_eq!(
+            labeled("m", "l", "a\nb"),
+            "m{l=\"a\\nb\"}",
+            "newline becomes \\n"
+        );
+    }
+
+    #[test]
+    fn labeled_passes_non_ascii_through_literally() {
+        // `{:?}` would render this as "\u{e9}", which Prometheus parsers
+        // reject; the exposition format wants raw UTF-8.
+        assert_eq!(
+            labeled("m", "transform", "xor-fold-é"),
+            "m{transform=\"xor-fold-é\"}"
         );
     }
 }

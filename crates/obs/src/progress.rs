@@ -57,6 +57,13 @@ impl Progress {
         self
     }
 
+    /// [`new`](Progress::new) with the reporting interval in whole
+    /// seconds — the constructor behind a CLI `--progress-interval`
+    /// flag. `0` reports on every clock check.
+    pub fn with_interval_secs(label: &str, total: Option<u64>, secs: u64) -> Self {
+        Progress::new(label, total).with_interval(Duration::from_secs(secs))
+    }
+
     /// Records `n` units of work, printing a heartbeat line if due.
     #[inline]
     pub fn tick(&mut self, n: u64) {
@@ -146,6 +153,14 @@ mod tests {
         assert_eq!(rate(5_000, 1.0), "5k");
         assert_eq!(rate(2_500_000, 1.0), "2.5M");
         assert_eq!(rate(10, 0.0), "0");
+    }
+
+    #[test]
+    fn interval_secs_constructor_sets_the_interval() {
+        let p = Progress::with_interval_secs("t", Some(10), 7);
+        assert_eq!(p.interval, Duration::from_secs(7));
+        let p = Progress::with_interval_secs("t", None, 0);
+        assert_eq!(p.interval, Duration::ZERO);
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * [`metered`] — the same loop with metrics, manifests, JSONL snapshot
 //!   streaming and a progress heartbeat
 //!   ([`metered::simulate_instrumented`]).
+//! * [`explain`](mod@explain) — the same loop with probe-level event
+//!   tracing: attributes every probe to its micro-events and cross-checks
+//!   the measured distributions against the closed-form model
+//!   ([`explain()`](explain::explain)).
 //! * [`config`] — the paper's level-one/level-two configuration presets
 //!   (Table 3).
 //! * [`experiments`] — one module per table/figure, each returning
@@ -48,10 +52,12 @@
 pub mod advisor;
 pub mod config;
 pub mod experiments;
+pub mod explain;
 pub mod metered;
 pub mod report;
 pub mod runner;
 
 pub use config::HierarchyPreset;
+pub use explain::{explain, ExplainConfig, ExplainReport};
 pub use metered::{simulate_instrumented, MeterConfig, MeteredRun};
 pub use runner::{simulate, standard_strategies, RunOutcome, StrategyResult};

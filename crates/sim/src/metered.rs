@@ -10,7 +10,7 @@
 //! [`Progress`] heartbeat reports refs/sec and ETA on stderr.
 //!
 //! The un-instrumented path never pays for any of this: `simulate` drives
-//! the hierarchy with the unit [`MetricsSink`](seta_cache::MetricsSink),
+//! the hierarchy with the unit [`MetricsSink`],
 //! which monomorphizes to nothing.
 
 use crate::runner::{assemble_outcome, RunOutcome, Scorer};
@@ -34,6 +34,9 @@ pub struct MeterConfig {
     pub snapshot_every: u64,
     /// Print a refs/sec + ETA heartbeat to stderr.
     pub progress: bool,
+    /// Minimum seconds between heartbeat lines (the CLI's
+    /// `--progress-interval`); `None` keeps [`Progress`]'s default.
+    pub progress_interval_secs: Option<u64>,
     /// Expected processor references, for the heartbeat's percentage and
     /// ETA columns.
     pub expected_refs: Option<u64>,
@@ -44,6 +47,7 @@ impl Default for MeterConfig {
         MeterConfig {
             snapshot_every: 100_000,
             progress: false,
+            progress_interval_secs: None,
             expected_refs: None,
         }
     }
@@ -288,9 +292,10 @@ where
     let names: Vec<String> = strategies.iter().map(|s| s.name()).collect();
     manifest.label("strategies", names.join(","));
 
-    let mut progress = cfg
-        .progress
-        .then(|| Progress::new("simulate", cfg.expected_refs));
+    let mut progress = cfg.progress.then(|| match cfg.progress_interval_secs {
+        Some(secs) => Progress::with_interval_secs("simulate", cfg.expected_refs, secs),
+        None => Progress::new("simulate", cfg.expected_refs),
+    });
     let started = Instant::now();
     let mut segment = 0u64;
     let mut segment_guard = manifest.begin_phase("segment-0");

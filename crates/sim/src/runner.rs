@@ -4,7 +4,9 @@ use serde::{Deserialize, Serialize};
 use seta_cache::{
     CacheConfig, CacheStats, L2Observer, L2RequestKind, L2RequestView, TwoLevel, TwoLevelStats,
 };
-use seta_core::lookup::{LookupStrategy, Mru, Naive, PartialCompare, Traditional, TransformKind};
+use seta_core::lookup::{
+    Lookup, LookupStrategy, Mru, Naive, PartialCompare, Traditional, TransformKind,
+};
 use seta_core::{model, MruDistanceHistogram, ProbeStats, SetView};
 use seta_trace::TraceEvent;
 
@@ -75,10 +77,17 @@ impl<'a> Scorer<'a> {
             requests: 0,
         }
     }
-}
 
-impl L2Observer for Scorer<'_> {
-    fn on_l2_request(&mut self, req: &L2RequestView<'_>) {
+    /// Scores one request with `lookup` performing each strategy's search.
+    ///
+    /// The plain path passes `LookupStrategy::lookup`; the explain pass
+    /// (see [`crate::explain`]) substitutes `lookup_observed` with its
+    /// event recorders, so instrumentation prices exactly the lookups the
+    /// statistics record — never a second execution.
+    pub(crate) fn score_with<F>(&mut self, req: &L2RequestView<'_>, mut lookup: F)
+    where
+        F: FnMut(usize, &dyn LookupStrategy, &SetView, u64) -> Lookup,
+    {
         let tags: Vec<u64> = req.frames.iter().map(|f| f.tag).collect();
         for (v, f) in self.valid_buf.iter_mut().zip(req.frames) {
             *v = f.valid;
@@ -96,8 +105,10 @@ impl L2Observer for Scorer<'_> {
             self.mru_updates += 1;
         }
 
-        for (strategy, (opt, no_opt)) in self.strategies.iter().zip(&mut self.results) {
-            let lookup = strategy.lookup(&view, req.tag);
+        for (i, (strategy, (opt, no_opt))) in
+            self.strategies.iter().zip(&mut self.results).enumerate()
+        {
+            let lookup = lookup(i, strategy.as_ref(), &view, req.tag);
             debug_assert_eq!(
                 lookup.hit_way,
                 req.hit_way,
@@ -123,6 +134,12 @@ impl L2Observer for Scorer<'_> {
                 }
             }
         }
+    }
+}
+
+impl L2Observer for Scorer<'_> {
+    fn on_l2_request(&mut self, req: &L2RequestView<'_>) {
+        self.score_with(req, |_, strategy, view, tag| strategy.lookup(view, tag));
     }
 }
 

@@ -1,0 +1,153 @@
+//! Property tests for the instrumented paths: metering and probe-level
+//! event tracing are pure observers. For any reference stream, the
+//! `RunOutcome` they return is bit-identical to the plain un-metered
+//! simulation, and the event-sink totals reconcile with the probe books.
+
+use proptest::prelude::*;
+use seta::cache::CacheConfig;
+use seta::sim::explain::{explain, ExplainConfig};
+use seta::sim::metered::{simulate_instrumented, MeterConfig};
+use seta::sim::runner::{simulate, standard_strategies};
+use seta::trace::{TraceEvent, TraceRecord};
+
+fn arbitrary_events() -> impl Strategy<Value = Vec<TraceEvent>> {
+    proptest::collection::vec(
+        prop_oneof![
+            9 => (0u64..0x8000, 0u8..3).prop_map(|(addr, k)| TraceEvent::Ref(match k {
+                0 => TraceRecord::read(addr),
+                1 => TraceRecord::write(addr),
+                _ => TraceRecord::ifetch(addr),
+            })),
+            1 => Just(TraceEvent::Flush),
+        ],
+        1..400,
+    )
+}
+
+/// Two outcomes are bit-identical iff their serializations agree on
+/// every field (RunOutcome intentionally has no PartialEq).
+fn fingerprint(outcome: &seta::sim::RunOutcome) -> String {
+    serde_json::to_string(outcome).expect("outcome serializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `explain` is observationally equivalent to `simulate`: same
+    /// hierarchy stats, same probe books, for any stream.
+    #[test]
+    fn explain_outcome_is_bit_identical_to_simulate(events in arbitrary_events()) {
+        let l1 = CacheConfig::direct_mapped(256, 16).expect("valid L1");
+        let l2 = CacheConfig::new(2048, 32, 4).expect("valid L2");
+        let strategies = standard_strategies(4, 16);
+        let plain = simulate(l1, l2, events.iter().copied(), &strategies);
+        let (traced, report) = explain(
+            l1,
+            l2,
+            events,
+            &strategies,
+            &ExplainConfig { sample_every: 7, ring_capacity: 32, heatmap_top: 4 },
+        );
+        prop_assert_eq!(fingerprint(&plain), fingerprint(&traced));
+        prop_assert!(report.identities_hold(), "exact checks must pass");
+    }
+
+    /// The metered path (metrics registry + JSONL snapshots) is also a
+    /// pure observer of the same simulation.
+    #[test]
+    fn metered_outcome_is_bit_identical_to_simulate(events in arbitrary_events()) {
+        let l1 = CacheConfig::direct_mapped(256, 16).expect("valid L1");
+        let l2 = CacheConfig::new(2048, 32, 4).expect("valid L2");
+        let strategies = standard_strategies(4, 16);
+        let plain = simulate(l1, l2, events.iter().copied(), &strategies);
+        let cfg = MeterConfig {
+            snapshot_every: 100,
+            progress: false,
+            expected_refs: None,
+            ..MeterConfig::default()
+        };
+        let mut sink: Vec<u8> = Vec::new();
+        let run = simulate_instrumented(
+            l1,
+            l2,
+            events,
+            &strategies,
+            "prop:explain_props",
+            0,
+            &cfg,
+            Some(&mut sink),
+        )
+        .expect("writing to a Vec cannot fail");
+        prop_assert_eq!(fingerprint(&plain), fingerprint(&run.outcome));
+    }
+
+    /// Event-sink totals reconcile with `ProbeStats` per strategy: the
+    /// read-in breakdown prices exactly the lookups the stats booked,
+    /// and write-backs land on the no-opt books.
+    #[test]
+    fn event_totals_reconcile_with_probe_stats(events in arbitrary_events()) {
+        let l1 = CacheConfig::direct_mapped(256, 16).expect("valid L1");
+        let l2 = CacheConfig::new(2048, 32, 8).expect("valid L2");
+        let strategies = standard_strategies(8, 16);
+        let (outcome, report) = explain(l1, l2, events, &strategies, &ExplainConfig::default());
+        for (a, s) in report.strategies.iter().zip(&outcome.strategies) {
+            prop_assert_eq!(&a.name, &s.name);
+            prop_assert_eq!(
+                a.read_in.lookups,
+                s.probes.hits.count + s.probes.misses.count,
+                "{}: one breakdown entry per read-in lookup",
+                s.name
+            );
+            prop_assert_eq!(
+                a.read_in.probes,
+                s.probes.hits.probes + s.probes.misses.probes,
+                "{}: read-in probes reconcile",
+                s.name
+            );
+            prop_assert_eq!(
+                a.write_back.lookups,
+                s.probes_no_opt.write_backs.count,
+                "{}: write-back lookups reconcile",
+                s.name
+            );
+            prop_assert_eq!(
+                a.write_back.probes,
+                s.probes_no_opt.write_backs.probes,
+                "{}: write-backs price on the no-opt books",
+                s.name
+            );
+            // Every probe is attributed to exactly one micro-event.
+            for b in [&a.read_in, &a.write_back] {
+                prop_assert_eq!(
+                    b.probes,
+                    b.tag_probes + b.group_probes + b.list_reads + b.step_one_probes
+                        + b.candidates,
+                    "{}: micro-events partition the probes",
+                    s.name
+                );
+            }
+        }
+    }
+
+    /// Sampling only thins the retained raw events; it never changes the
+    /// aggregates. Any 1-in-N keeps the same report totals as 1-in-1.
+    #[test]
+    fn sampling_rate_does_not_affect_aggregates(
+        events in arbitrary_events(),
+        every in 1u64..64,
+    ) {
+        let l1 = CacheConfig::direct_mapped(256, 16).expect("valid L1");
+        let l2 = CacheConfig::new(1024, 16, 4).expect("valid L2");
+        let strategies = standard_strategies(4, 16);
+        let dense = ExplainConfig { sample_every: 1, ..ExplainConfig::default() };
+        let sparse = ExplainConfig { sample_every: every, ..ExplainConfig::default() };
+        let (_, a) = explain(l1, l2, events.iter().copied(), &strategies, &dense);
+        let (_, b) = explain(l1, l2, events, &strategies, &sparse);
+        prop_assert_eq!(
+            serde_json::to_string(&a.strategies).unwrap(),
+            serde_json::to_string(&b.strategies).unwrap()
+        );
+        prop_assert_eq!(&a.mru_f, &b.mru_f);
+        prop_assert!(b.sampling.sampled <= a.sampling.sampled);
+    }
+}

@@ -22,6 +22,7 @@ fn short_run(snapshot_every: u64) -> (Vec<String>, seta::sim::MeteredRun) {
         snapshot_every,
         progress: false,
         expected_refs: Some(30_000),
+        ..MeterConfig::default()
     };
     let mut out: Vec<u8> = Vec::new();
     let run = simulate_instrumented(
