@@ -4,15 +4,23 @@
 //!
 //! * the `paper_tables` binary, which regenerates any table or figure of
 //!   the paper (`cargo run --release -p seta-bench --bin paper_tables -- all`);
+//! * the `bench_guard` binary, the continuous-benchmarking regression gate
+//!   (see [`guard`]): deterministic median-of-k measurements written as
+//!   `BENCH_<n>.json`, checked against the committed baseline in CI;
 //! * Criterion benches (`benches/tables.rs`, `benches/figures.rs`) that
 //!   time each experiment end-to-end on a scaled trace;
 //! * micro-benchmarks (`benches/micro.rs`) for the lookup strategies, tag
-//!   transforms, trace generator, and cache hierarchy throughput.
+//!   transforms, trace generator, and cache hierarchy throughput, and
+//!   hot-path benches (`benches/hotpath.rs`) for everything `bench_guard`
+//!   gates.
 //!
-//! The library portion only exposes small helpers shared by the benches.
+//! The library portion exposes the guard machinery and small helpers
+//! shared by the benches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod guard;
 
 use seta_sim::experiments::ExperimentParams;
 

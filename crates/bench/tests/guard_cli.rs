@@ -1,0 +1,180 @@
+//! End-to-end tests of the `bench_guard` binary: baseline trajectory,
+//! `--check` pass/fail behaviour, and argument rejection.
+
+use seta_bench::guard::{load_report, GuardReport};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bench_guard() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench_guard"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seta_guard_cli_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn rewrite(path: &Path, report: &GuardReport) {
+    std::fs::write(path, serde_json::to_string(report).expect("serializes")).expect("writable");
+}
+
+fn bench_files(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("readable dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("BENCH_"))
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn seed_then_check_passes_and_numbers_sequentially() {
+    let dir = tmp_dir("seed");
+    // First run seeds BENCH_1.json.
+    let out = bench_guard()
+        .args(["--quick", "--passes", "2", "--dir"])
+        .arg(&dir)
+        .output()
+        .expect("run bench_guard");
+    assert!(out.status.success(), "seed run failed: {}", stderr_of(&out));
+    assert_eq!(bench_files(&dir), ["BENCH_1.json"]);
+
+    // Second run checks against it and writes BENCH_2.json.
+    let out = bench_guard()
+        .args([
+            "--quick",
+            "--passes",
+            "2",
+            "--check",
+            "--tolerance",
+            "2.0",
+            "--dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run bench_guard");
+    assert!(out.status.success(), "check failed: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("baseline: BENCH_1.json"));
+    assert!(stderr_of(&out).contains("check passed"));
+    assert_eq!(bench_files(&dir), ["BENCH_1.json", "BENCH_2.json"]);
+
+    let json = std::fs::read_to_string(dir.join("BENCH_2.json")).expect("readable");
+    let report: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    let benches = report["benchmarks"].as_array().expect("benchmark array");
+    assert!(benches.len() >= 6, "only {} benchmarks", benches.len());
+    assert!(report["sharded_speedup"].as_f64().expect("speedup") > 0.0);
+    assert!(
+        report["manifest"]["phases"]
+            .as_array()
+            .expect("phases")
+            .len()
+            >= 6
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_fails_on_probe_count_change() {
+    let dir = tmp_dir("probes");
+    let out = bench_guard()
+        .args(["--quick", "--passes", "1", "--dir"])
+        .arg(&dir)
+        .output()
+        .expect("run bench_guard");
+    assert!(out.status.success(), "seed run failed: {}", stderr_of(&out));
+
+    // Tamper with the baseline's probe counts: any delta must fail.
+    let path = dir.join("BENCH_1.json");
+    let mut report = load_report(&path).expect("loadable baseline");
+    report.benchmarks[0].probes += 1;
+    rewrite(&path, &report);
+
+    let out = bench_guard()
+        .args([
+            "--quick",
+            "--passes",
+            "1",
+            "--check",
+            "--tolerance",
+            "5.0",
+            "--no-write",
+            "--dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run bench_guard");
+    assert!(!out.status.success(), "tampered baseline must fail");
+    assert!(
+        stderr_of(&out).contains("probe count changed"),
+        "unexpected stderr: {}",
+        stderr_of(&out)
+    );
+    // --no-write left the trajectory untouched.
+    assert_eq!(bench_files(&dir), ["BENCH_1.json"]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_without_baseline_fails_with_guidance() {
+    let dir = tmp_dir("nobase");
+    let out = bench_guard()
+        .args(["--quick", "--passes", "1", "--check", "--no-write", "--dir"])
+        .arg(&dir)
+        .output()
+        .expect("run bench_guard");
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("no BENCH_"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quick_and_full_baselines_never_compare() {
+    let dir = tmp_dir("mode");
+    let out = bench_guard()
+        .args(["--quick", "--passes", "1", "--dir"])
+        .arg(&dir)
+        .output()
+        .expect("run bench_guard");
+    assert!(out.status.success(), "{}", stderr_of(&out));
+
+    // Flip the recorded mode so the next quick run sees a "full" baseline.
+    let path = dir.join("BENCH_1.json");
+    let mut report = load_report(&path).expect("loadable baseline");
+    report.mode = "full".into();
+    rewrite(&path, &report);
+
+    let out = bench_guard()
+        .args(["--quick", "--passes", "1", "--check", "--no-write", "--dir"])
+        .arg(&dir)
+        .output()
+        .expect("run bench_guard");
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("mode mismatch"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_arguments_are_rejected() {
+    for bad in [
+        &["--frobnicate"][..],
+        &["--tolerance", "-1"],
+        &["--passes", "0"],
+    ] {
+        let out = bench_guard().args(bad).output().expect("run bench_guard");
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+    }
+}
+
+#[test]
+fn version_flag_prints_and_exits_zero() {
+    let out = bench_guard().arg("--version").output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("bench_guard"));
+}

@@ -148,9 +148,9 @@ impl CacheConfig {
     /// The paper's configuration label, e.g. `16K-32` for 16 KiB capacity
     /// with 32-byte blocks.
     pub fn label(&self) -> String {
-        let size = if self.size_bytes.is_multiple_of(1024 * 1024) {
+        let size = if self.size_bytes % (1024 * 1024) == 0 {
             format!("{}M", self.size_bytes / (1024 * 1024))
-        } else if self.size_bytes.is_multiple_of(1024) {
+        } else if self.size_bytes % 1024 == 0 {
             format!("{}K", self.size_bytes / 1024)
         } else {
             format!("{}B", self.size_bytes)

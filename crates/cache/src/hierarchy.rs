@@ -206,6 +206,32 @@ impl TwoLevelStats {
     }
 }
 
+/// Merges counters from two disjoint event streams — the ratios of the sum
+/// are the ratios of the combined run. This is what lets a sharded sweep
+/// runner simulate independent cold-start trace segments in parallel and
+/// fold their hierarchy statistics back together.
+impl std::ops::AddAssign for TwoLevelStats {
+    fn add_assign(&mut self, other: TwoLevelStats) {
+        self.processor_refs += other.processor_refs;
+        self.flushes += other.flushes;
+        self.read_ins += other.read_ins;
+        self.read_in_hits += other.read_in_hits;
+        self.write_backs += other.write_backs;
+        self.write_back_hits += other.write_back_hits;
+        self.hint_checks += other.hint_checks;
+        self.hint_correct += other.hint_correct;
+    }
+}
+
+impl std::iter::Sum for TwoLevelStats {
+    fn sum<I: Iterator<Item = TwoLevelStats>>(iter: I) -> TwoLevelStats {
+        iter.fold(TwoLevelStats::default(), |mut acc, s| {
+            acc += s;
+            acc
+        })
+    }
+}
+
 /// The two-level write-back hierarchy.
 ///
 /// # Example
@@ -858,5 +884,28 @@ mod tests {
         h.step(&TraceRecord::new(0x40, AccessKind::InstrFetch), &mut ());
         h.step(&TraceRecord::read(0x140), &mut ()); // evict clean block
         assert_eq!(h.stats().write_backs, 0);
+    }
+
+    #[test]
+    fn stats_merge_counts_componentwise() {
+        // Two streams whose segments both start with a flush: running them
+        // through separate hierarchies and summing must equal running the
+        // concatenation through one hierarchy.
+        let stream = |base: u64| {
+            let mut v = vec![TraceEvent::Flush];
+            v.extend((0..100u64).map(|i| TraceEvent::Ref(TraceRecord::read(base + (i % 23) * 64))));
+            v
+        };
+        let mut whole = hierarchy();
+        whole.run(stream(0), &mut ());
+        whole.run(stream(0x10000), &mut ());
+
+        let mut a = hierarchy();
+        a.run(stream(0), &mut ());
+        let mut b = hierarchy();
+        b.run(stream(0x10000), &mut ());
+
+        let merged: TwoLevelStats = [*a.stats(), *b.stats()].into_iter().sum();
+        assert_eq!(&merged, whole.stats());
     }
 }

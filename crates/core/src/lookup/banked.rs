@@ -86,7 +86,7 @@ impl Banked {
         let mut probes = base_probes;
         for (visited, w) in ways.enumerate() {
             let visited = visited as u32;
-            if visited.is_multiple_of(self.banks) {
+            if visited % self.banks == 0 {
                 probes += 1;
                 obs.group_probe(visited / self.banks, self.banks.min(total - visited) as u8);
             }

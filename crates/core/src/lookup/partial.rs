@@ -117,7 +117,7 @@ impl PartialCompare {
     /// would be zero (tag too narrow for that many concurrent compares).
     pub fn k_for(&self, ways: usize) -> u32 {
         assert!(
-            (ways as u32).is_multiple_of(self.subsets),
+            (ways as u32) % self.subsets == 0,
             "{} subsets do not divide {} ways",
             self.subsets,
             ways

@@ -68,7 +68,7 @@ pub fn mru_miss(a: u32) -> f64 {
 /// Panics if `s` does not divide `a`, or the resulting `k` would be zero.
 pub fn partial_k(t: u32, a: u32, s: u32) -> u32 {
     assert!(a > 0 && s > 0, "a and s must be positive");
-    assert!(a.is_multiple_of(s), "{s} subsets do not divide {a} ways");
+    assert!(a % s == 0, "{s} subsets do not divide {a} ways");
     let k = t / (a / s);
     assert!(
         k > 0,
@@ -95,7 +95,7 @@ pub fn partial_k(t: u32, a: u32, s: u32) -> u32 {
 /// Panics if `s` does not divide `a` or either is zero.
 pub fn partial_hit(a: u32, k: u32, s: u32) -> f64 {
     assert!(a > 0 && s > 0, "a and s must be positive");
-    assert!(a.is_multiple_of(s), "{s} subsets do not divide {a} ways");
+    assert!(a % s == 0, "{s} subsets do not divide {a} ways");
     let (a, s) = (a as f64, s as f64);
     let per = a / s;
     let sel = (2f64).powi(k as i32);
@@ -110,7 +110,7 @@ pub fn partial_hit(a: u32, k: u32, s: u32) -> f64 {
 /// Panics if `s` does not divide `a` or either is zero.
 pub fn partial_miss(a: u32, k: u32, s: u32) -> f64 {
     assert!(a > 0 && s > 0, "a and s must be positive");
-    assert!(a.is_multiple_of(s), "{s} subsets do not divide {a} ways");
+    assert!(a % s == 0, "{s} subsets do not divide {a} ways");
     s as f64 + a as f64 / (2f64).powi(k as i32)
 }
 
@@ -141,7 +141,7 @@ pub fn best_subsets(t: u32, a: u32, miss_ratio: f64) -> u32 {
     let mut best = (f64::INFINITY, 1u32);
     let mut s = 1u32;
     while s <= a {
-        if a.is_multiple_of(s) && t / (a / s) >= 1 {
+        if a % s == 0 && t / (a / s) >= 1 {
             let k = partial_k(t, a, s);
             let e = (1.0 - miss_ratio) * partial_hit(a, k, s) + miss_ratio * partial_miss(a, k, s);
             if e < best.0 {
@@ -163,7 +163,7 @@ pub fn subsets_for_four_bit_compares(t: u32, a: u32) -> u32 {
     assert!(a > 0 && t > 0, "a and t must be positive");
     let mut s = 1u32;
     while s <= a {
-        if a.is_multiple_of(s) && t / (a / s) >= 4 {
+        if a % s == 0 && t / (a / s) >= 4 {
             return s;
         }
         s *= 2;

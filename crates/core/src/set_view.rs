@@ -61,6 +61,31 @@ impl SetView {
             assert!(!seen[w as usize], "order repeats way {w}");
             seen[w as usize] = true;
         }
+        Self::build(tags, valid, order)
+    }
+
+    /// [`from_parts`](Self::from_parts) for callers that already guarantee
+    /// the invariants — equal slice lengths in `1..=MAX_ASSOC` and `order`
+    /// a permutation of the ways — such as a simulator snapshotting a
+    /// well-formed cache set on every access. Skips the permutation
+    /// validation on release builds (it is O(ways) of branching per cache
+    /// access, pure overhead on the lookup hot path); debug builds still
+    /// check everything.
+    pub fn from_trusted_parts(tags: &[u64], valid: &[bool], order: &[u8]) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            Self::from_parts(tags, valid, order)
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            Self::build(tags, valid, order)
+        }
+    }
+
+    /// Shared constructor body; callers have validated (or vouch for) the
+    /// invariants. The slice copies still bound-check `ways`.
+    fn build(tags: &[u64], valid: &[bool], order: &[u8]) -> Self {
+        let ways = tags.len();
         let mut view = SetView {
             ways: ways as u8,
             tags: [0; MAX_ASSOC],
@@ -194,6 +219,21 @@ mod tests {
     #[should_panic(expected = "names way")]
     fn out_of_range_order_panics() {
         SetView::from_parts(&[1, 2], &[true, true], &[0, 2]);
+    }
+
+    #[test]
+    fn trusted_parts_match_checked_constructor() {
+        let tags = [1u64, 2, 3, 4];
+        let valid = [true, false, true, true];
+        let order = [3u8, 1, 0, 2];
+        let checked = SetView::from_parts(&tags, &valid, &order);
+        let trusted = SetView::from_trusted_parts(&tags, &valid, &order);
+        assert_eq!(checked.ways(), trusted.ways());
+        assert_eq!(checked.order(), trusted.order());
+        for w in 0..4 {
+            assert_eq!(checked.is_valid(w), trusted.is_valid(w));
+            assert_eq!(checked.tag(w), trusted.tag(w));
+        }
     }
 
     #[test]

@@ -108,7 +108,7 @@ impl EventRing {
 
     /// Whether the request numbered `seq` is in the sample.
     pub fn samples(&self, seq: u64) -> bool {
-        seq.is_multiple_of(self.sample_every)
+        seq % self.sample_every == 0
     }
 
     /// Offers one event; `make` is only called when `seq` is sampled, so
@@ -409,7 +409,7 @@ mod tests {
             strategy: 0,
             set: seq % 4,
             write_back: false,
-            hit: seq.is_multiple_of(2),
+            hit: seq % (2) == 0,
             probes: 1,
             mru_distance: None,
             candidates: 0,

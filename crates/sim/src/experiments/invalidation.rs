@@ -91,7 +91,7 @@ pub fn run_with(
             for event in AtumLike::new(params.trace.clone(), params.seed) {
                 if let TraceEvent::Ref(_) = event {
                     refs += 1;
-                    if refs.is_multiple_of(period) {
+                    if refs % period == 0 {
                         // Invalidate `burst` random resident blocks: a remote
                         // processor takes ownership of lines we share.
                         let resident: Vec<u64> = h.l2().resident_addrs().collect();

@@ -686,7 +686,7 @@ fn build_checks(
                     (attr.read_in.candidates - p.hits.count) as f64,
                     0.0,
                 ));
-                if a.is_multiple_of(s) && t / (a / s) >= 1 {
+                if a % s == 0 && t / (a / s) >= 1 {
                     let k = model::partial_k(t, a, s);
                     if p.hits.count > 0 {
                         checks.push(Check::model(

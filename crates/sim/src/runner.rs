@@ -59,6 +59,9 @@ pub(crate) struct Scorer<'a> {
     strategies: &'a [Box<dyn LookupStrategy>],
     pub(crate) results: Vec<(ProbeStats, ProbeStats)>,
     pub(crate) mru_hist: MruDistanceHistogram,
+    /// Scratch buffers for snapshotting the target set, reused across
+    /// accesses so the lookup inner loop never allocates.
+    tags_buf: Vec<u64>,
     valid_buf: Vec<bool>,
     /// Requests that change the MRU list (hits away from the MRU position,
     /// plus every miss) — Table 2's update probability `u`.
@@ -72,6 +75,7 @@ impl<'a> Scorer<'a> {
             strategies,
             results: vec![(ProbeStats::new(), ProbeStats::new()); strategies.len()],
             mru_hist: MruDistanceHistogram::new(assoc as usize),
+            tags_buf: vec![0; assoc as usize],
             valid_buf: vec![false; assoc as usize],
             mru_updates: 0,
             requests: 0,
@@ -88,11 +92,19 @@ impl<'a> Scorer<'a> {
     where
         F: FnMut(usize, &dyn LookupStrategy, &SetView, u64) -> Lookup,
     {
-        let tags: Vec<u64> = req.frames.iter().map(|f| f.tag).collect();
-        for (v, f) in self.valid_buf.iter_mut().zip(req.frames) {
+        for ((t, v), f) in self
+            .tags_buf
+            .iter_mut()
+            .zip(&mut self.valid_buf)
+            .zip(req.frames)
+        {
+            *t = f.tag;
             *v = f.valid;
         }
-        let view = SetView::from_parts(&tags, &self.valid_buf, req.order);
+        // The cache guarantees the snapshot's invariants (its recency order
+        // is always a permutation), so the trusted constructor skips the
+        // per-access validation scan.
+        let view = SetView::from_trusted_parts(&self.tags_buf, &self.valid_buf, req.order);
 
         if req.kind == L2RequestKind::ReadIn && req.hit {
             self.mru_hist
@@ -235,48 +247,223 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
-    fn run(&self) -> RunOutcome {
-        simulate(
-            self.l1,
-            self.l2,
-            seta_trace::gen::AtumLike::new(self.trace.clone(), self.seed),
-            &standard_strategies(self.l2.associativity(), self.tag_bits),
-        )
+    /// Whether this spec's trace decomposes into independent per-segment
+    /// shards: every segment starts from a cold (flushed) hierarchy, so
+    /// simulating segments separately and summing the counters is
+    /// bit-identical to one sequential pass.
+    fn splits_by_segment(&self) -> bool {
+        self.trace.flush_between_segments && self.trace.segments > 1
+    }
+
+    /// Simulates segments `start..end` of this spec on a fresh hierarchy,
+    /// returning the mergeable counters.
+    fn run_segments(&self, start: usize, end: usize) -> ShardOutcome {
+        let strategies = standard_strategies(self.l2.associativity(), self.tag_bits);
+        let mut hierarchy = TwoLevel::with_l2_policy(self.l1, self.l2, seta_cache::Policy::Lru, 0)
+            .expect("L1 blocks must fit in L2 blocks");
+        let mut scorer = Scorer::new(&strategies, self.l2.associativity());
+        hierarchy.run(
+            seta_trace::gen::AtumLike::segment_range(self.trace.clone(), self.seed, start, end),
+            &mut scorer,
+        );
+        let (l1_stats, l2_stats) = hierarchy.level_stats();
+        ShardOutcome {
+            hierarchy: *hierarchy.stats(),
+            l1_stats,
+            l2_stats,
+            results: scorer.results,
+            mru_hist: scorer.mru_hist,
+            mru_updates: scorer.mru_updates,
+            requests: scorer.requests,
+        }
     }
 }
 
-/// Runs a sweep of independent simulations across all available cores,
-/// returning outcomes in spec order. Results are bit-identical to running
-/// each spec serially — every run is self-contained and deterministic.
+/// One work item of a sharded sweep: a contiguous segment range of one spec.
+struct Shard {
+    spec: usize,
+    seg_start: usize,
+    seg_end: usize,
+}
+
+/// The mergeable counters one shard produces. Everything in a
+/// [`RunOutcome`] except the labels is a sum (or a ratio of sums) of these.
+struct ShardOutcome {
+    hierarchy: TwoLevelStats,
+    l1_stats: CacheStats,
+    l2_stats: CacheStats,
+    results: Vec<(ProbeStats, ProbeStats)>,
+    mru_hist: MruDistanceHistogram,
+    mru_updates: u64,
+    requests: u64,
+}
+
+impl ShardOutcome {
+    /// Folds `other` (a later segment range of the same spec) into `self`.
+    fn merge(&mut self, other: ShardOutcome) {
+        self.hierarchy += other.hierarchy;
+        self.l1_stats += other.l1_stats;
+        self.l2_stats += other.l2_stats;
+        debug_assert_eq!(self.results.len(), other.results.len());
+        for (a, b) in self.results.iter_mut().zip(other.results) {
+            a.0 = a.0 + b.0;
+            a.1 = a.1 + b.1;
+        }
+        self.mru_hist.merge(&other.mru_hist);
+        self.mru_updates += other.mru_updates;
+        self.requests += other.requests;
+    }
+
+    /// Finishes the fold into the public outcome type.
+    fn into_outcome(self, spec: &RunSpec) -> RunOutcome {
+        let mru_update_fraction = if self.requests == 0 {
+            0.0
+        } else {
+            self.mru_updates as f64 / self.requests as f64
+        };
+        RunOutcome {
+            l1_label: spec.l1.label(),
+            l2_label: spec.l2.label(),
+            assoc: spec.l2.associativity(),
+            hierarchy: self.hierarchy,
+            l1_stats: self.l1_stats,
+            l2_stats: self.l2_stats,
+            strategies: standard_strategies(spec.l2.associativity(), spec.tag_bits)
+                .iter()
+                .zip(self.results)
+                .map(|(s, (probes, probes_no_opt))| StrategyResult {
+                    name: s.name(),
+                    probes,
+                    probes_no_opt,
+                })
+                .collect(),
+            mru_hist: self.mru_hist,
+            mru_update_fraction,
+        }
+    }
+}
+
+/// Splits the sweep into its unit of parallelism: one shard per cold-start
+/// segment for specs that decompose, one whole-spec shard otherwise (warm
+/// traces carry cache state across segment boundaries and must run
+/// sequentially).
+fn shard_plan(specs: &[RunSpec]) -> Vec<Shard> {
+    let mut shards = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        if spec.splits_by_segment() {
+            for k in 0..spec.trace.segments {
+                shards.push(Shard {
+                    spec: i,
+                    seg_start: k,
+                    seg_end: k + 1,
+                });
+            }
+        } else {
+            shards.push(Shard {
+                spec: i,
+                seg_start: 0,
+                seg_end: spec.trace.segments,
+            });
+        }
+    }
+    shards
+}
+
+/// Worker count for a queue of `queue_len` shards: the `SETA_THREADS`
+/// environment override if set (for reproducible CI runs), otherwise the
+/// available parallelism — in both cases clamped to the queue length, so a
+/// two-shard sweep never spawns a machine's worth of idle workers.
+fn worker_threads(queue_len: usize) -> usize {
+    let requested = std::env::var("SETA_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    requested.min(queue_len.max(1))
+}
+
+/// Runs a sweep of independent simulations across a sharded work queue,
+/// returning outcomes in spec order.
+///
+/// Parallelism is per *segment*, not per spec: each cold-start trace
+/// segment is an independent unit of work (the paper's methodology flushes
+/// the hierarchy between segments), so even a single multi-segment spec
+/// fans out across every worker. Per-shard counters merge exactly —
+/// results are bit-identical to running each spec serially through
+/// [`simulate`], whatever the worker count.
+///
+/// Worker count is `min(available_parallelism, shard count)`; set
+/// `SETA_THREADS` to pin it (e.g. `SETA_THREADS=1` for a reproducible
+/// sequential CI run).
 pub fn simulate_many(specs: &[RunSpec]) -> Vec<RunOutcome> {
+    let shards = shard_plan(specs);
+    let threads = worker_threads(shards.len());
+    simulate_sharded(specs, shards, threads)
+}
+
+/// [`simulate_many`] with an explicit worker count, ignoring
+/// `SETA_THREADS` and the machine's parallelism. Useful for measuring
+/// scaling and for tests that must not depend on the environment.
+pub fn simulate_many_with_threads(specs: &[RunSpec], threads: usize) -> Vec<RunOutcome> {
+    let shards = shard_plan(specs);
+    let threads = threads.max(1).min(shards.len().max(1));
+    simulate_sharded(specs, shards, threads)
+}
+
+fn simulate_sharded(specs: &[RunSpec], shards: Vec<Shard>, threads: usize) -> Vec<RunOutcome> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(specs.len().max(1));
+    let mut slots: Vec<Option<ShardOutcome>> = Vec::new();
     if threads <= 1 {
-        return specs.iter().map(RunSpec::run).collect();
+        slots.extend(
+            shards
+                .iter()
+                .map(|s| Some(specs[s.spec].run_segments(s.seg_start, s.seg_end))),
+        );
+    } else {
+        let shared: Vec<Mutex<Option<ShardOutcome>>> =
+            shards.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(shard) = shards.get(i) else { break };
+                    let out = specs[shard.spec].run_segments(shard.seg_start, shard.seg_end);
+                    *shared[i].lock().expect("no panics while holding the slot") = Some(out);
+                });
+            }
+        });
+        slots.extend(shared.into_iter().map(|slot| {
+            Some(
+                slot.into_inner()
+                    .expect("worker threads joined cleanly")
+                    .expect("every slot was filled"),
+            )
+        }));
     }
-    let slots: Vec<Mutex<Option<RunOutcome>>> = specs.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = specs.get(i) else { break };
-                let out = spec.run();
-                *slots[i].lock().expect("no panics while holding the slot") = Some(out);
-            });
+
+    // Fold each spec's shards back together in segment order. Shards were
+    // emitted in (spec, segment) order, so a single forward pass suffices.
+    let mut outcomes: Vec<Option<ShardOutcome>> = specs.iter().map(|_| None).collect();
+    for (shard, slot) in shards.iter().zip(&mut slots) {
+        let out = slot.take().expect("every shard produced an outcome");
+        match &mut outcomes[shard.spec] {
+            acc @ None => *acc = Some(out),
+            Some(acc) => acc.merge(out),
         }
-    });
-    slots
+    }
+    outcomes
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("worker threads joined cleanly")
-                .expect("every slot was filled")
+        .zip(specs)
+        .map(|(acc, spec)| {
+            acc.expect("every spec had at least one shard")
+                .into_outcome(spec)
         })
         .collect()
 }
@@ -548,6 +735,84 @@ mod tests {
             for (a, b) in out.strategies.iter().zip(&serial.strategies) {
                 assert_eq!(a.probes, b.probes);
             }
+        }
+    }
+
+    /// Debug formatting is a faithful fingerprint: every counter and every
+    /// f64 (printed in shortest-roundtrip form) must agree bit-for-bit.
+    fn fingerprint(out: &RunOutcome) -> String {
+        format!("{out:?}")
+    }
+
+    fn multiseg_spec(segments: usize, assoc: u32, seed: u64) -> RunSpec {
+        RunSpec {
+            l1: CacheConfig::direct_mapped(4 * 1024, 16).unwrap(),
+            l2: CacheConfig::new(32 * 1024, 32, assoc).unwrap(),
+            trace: {
+                let mut c = AtumLikeConfig::paper_like();
+                c.segments = segments;
+                c.refs_per_segment = 5_000;
+                c
+            },
+            seed,
+            tag_bits: 16,
+        }
+    }
+
+    fn serial(spec: &RunSpec) -> RunOutcome {
+        simulate(
+            spec.l1,
+            spec.l2,
+            AtumLike::new(spec.trace.clone(), spec.seed),
+            &standard_strategies(spec.l2.associativity(), spec.tag_bits),
+        )
+    }
+
+    #[test]
+    fn sharded_single_spec_is_bit_identical_to_serial() {
+        let spec = multiseg_spec(5, 4, 13);
+        let serial_out = serial(&spec);
+        for threads in [1, 2, 5, 16] {
+            let sharded = simulate_many_with_threads(std::slice::from_ref(&spec), threads);
+            assert_eq!(sharded.len(), 1);
+            assert_eq!(
+                fingerprint(&sharded[0]),
+                fingerprint(&serial_out),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_trace_shards_as_one_unit_and_stays_bit_identical() {
+        let mut spec = multiseg_spec(3, 4, 21);
+        spec.trace.flush_between_segments = false;
+        assert!(!spec.splits_by_segment());
+        let serial_out = serial(&spec);
+        for threads in [1, 4] {
+            let sharded = simulate_many_with_threads(std::slice::from_ref(&spec), threads);
+            assert_eq!(fingerprint(&sharded[0]), fingerprint(&serial_out));
+        }
+    }
+
+    #[test]
+    fn shard_plan_splits_cold_specs_per_segment() {
+        let cold = multiseg_spec(4, 2, 1);
+        let mut warm = multiseg_spec(3, 2, 1);
+        warm.trace.flush_between_segments = false;
+        let plan = shard_plan(&[cold, warm]);
+        assert_eq!(plan.len(), 5); // 4 cold segments + 1 warm whole-spec
+        assert!(plan[..4].iter().all(|s| s.seg_end - s.seg_start == 1));
+        assert_eq!((plan[4].seg_start, plan[4].seg_end), (0, 3));
+    }
+
+    #[test]
+    fn worker_threads_clamps_to_queue_length() {
+        assert_eq!(worker_threads(0), 1);
+        assert_eq!(worker_threads(1), 1);
+        assert!(worker_threads(64) >= 1);
+        for n in [1usize, 2, 64] {
+            assert!(worker_threads(n) <= n.max(1));
         }
     }
 

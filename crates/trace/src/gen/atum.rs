@@ -104,6 +104,7 @@ pub struct AtumLike {
     config: AtumLikeConfig,
     seed: u64,
     segment: usize,
+    end_segment: usize,
     emitted_in_segment: u64,
     flush_pending: bool,
     current: Option<Multiprogram>,
@@ -118,13 +119,39 @@ impl AtumLike {
     /// [`AtumLikeConfig::validate`] to check first when the configuration
     /// comes from user input.
     pub fn new(config: AtumLikeConfig, seed: u64) -> Self {
+        let end = config.segments;
+        Self::segment_range(config, seed, 0, end)
+    }
+
+    /// A generator that emits only segments `start..end` of the trace
+    /// [`new`](AtumLike::new) would produce — byte-identical events,
+    /// because each segment's workload is seeded by its absolute index.
+    ///
+    /// When `flush_between_segments` is set, every segment (including
+    /// `start`) is preceded by its [`TraceEvent::Flush`], so concatenating
+    /// the ranges `0..k` and `k..segments` reproduces the full trace. This
+    /// is what lets a sharded sweep runner simulate cold-start segments
+    /// independently and merge the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the range is empty or out
+    /// of bounds.
+    pub fn segment_range(config: AtumLikeConfig, seed: u64, start: usize, end: usize) -> Self {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid AtumLikeConfig: {e}"));
+        assert!(start < end, "empty segment range {start}..{end}");
+        assert!(
+            end <= config.segments,
+            "segment range {start}..{end} exceeds {} segments",
+            config.segments
+        );
         AtumLike {
             config,
             seed,
-            segment: 0,
+            segment: start,
+            end_segment: end,
             emitted_in_segment: 0,
             flush_pending: true,
             current: None,
@@ -141,7 +168,7 @@ impl Iterator for AtumLike {
     type Item = TraceEvent;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.segment >= self.config.segments {
+        if self.segment >= self.end_segment {
             return None;
         }
         if self.flush_pending {
@@ -269,5 +296,49 @@ mod tests {
     #[should_panic(expected = "invalid AtumLikeConfig")]
     fn invalid_config_panics() {
         AtumLike::new(small(0, 100), 1);
+    }
+
+    #[test]
+    fn segment_ranges_concatenate_to_full_trace() {
+        let cfg = small(4, 300);
+        let full: Vec<_> = AtumLike::new(cfg.clone(), 9).collect();
+        let mut stitched = Vec::new();
+        for k in 0..4 {
+            stitched.extend(AtumLike::segment_range(cfg.clone(), 9, k, k + 1));
+        }
+        assert_eq!(full, stitched);
+        // Uneven split points agree too.
+        let mut halves: Vec<_> = AtumLike::segment_range(cfg.clone(), 9, 0, 1).collect();
+        halves.extend(AtumLike::segment_range(cfg, 9, 1, 4));
+        assert_eq!(full, halves);
+    }
+
+    #[test]
+    fn segment_range_starts_with_flush() {
+        let events: Vec<_> = AtumLike::segment_range(small(3, 100), 5, 2, 3).collect();
+        assert_eq!(events.len(), 101);
+        assert!(events[0].is_flush());
+    }
+
+    #[test]
+    fn warm_segment_range_concatenates_too() {
+        let mut cfg = small(3, 200);
+        cfg.flush_between_segments = false;
+        let full: Vec<_> = AtumLike::new(cfg.clone(), 2).collect();
+        let mut stitched: Vec<_> = AtumLike::segment_range(cfg.clone(), 2, 0, 2).collect();
+        stitched.extend(AtumLike::segment_range(cfg, 2, 2, 3));
+        assert_eq!(full, stitched);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty segment range")]
+    fn empty_segment_range_panics() {
+        AtumLike::segment_range(small(2, 100), 1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn out_of_bounds_segment_range_panics() {
+        AtumLike::segment_range(small(2, 100), 1, 1, 3);
     }
 }

@@ -76,7 +76,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = format!("{}/{}", self.name, name.into().id);
-        let samples = if self.criterion.test_mode { 1 } else { self.sample_size };
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size
+        };
         run_benchmark(&id, samples, self.throughput, f);
         self
     }
@@ -108,12 +112,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An identifier like `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// An identifier that is just the parameter.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -161,7 +169,10 @@ fn run_benchmark<F>(id: &str, samples: usize, throughput: Option<Throughput>, mu
 where
     F: FnMut(&mut Bencher),
 {
-    let mut b = Bencher { samples: Vec::with_capacity(samples), remaining: samples };
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+        remaining: samples,
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{id:<40} (no measurements)");

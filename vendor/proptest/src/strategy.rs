@@ -203,10 +203,8 @@ mod pattern {
                             Some(lo) => {
                                 if chars.peek() == Some(&'-') {
                                     chars.next();
-                                    let hi = chars
-                                        .next()
-                                        .filter(|&h| h != ']')
-                                        .unwrap_or_else(|| {
+                                    let hi =
+                                        chars.next().filter(|&h| h != ']').unwrap_or_else(|| {
                                             panic!("unterminated range in {pattern:?}")
                                         });
                                     ranges.push((lo, hi));

@@ -232,7 +232,10 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     fn from_value(v: &Value) -> Result<Self, Error> {
         let arr = v.as_array().ok_or_else(|| Error::expected("array", v))?;
         if arr.len() != 2 {
-            return Err(Error::msg(format!("expected 2-tuple, got {} items", arr.len())));
+            return Err(Error::msg(format!(
+                "expected 2-tuple, got {} items",
+                arr.len()
+            )));
         }
         Ok((A::from_value(&arr[0])?, B::from_value(&arr[1])?))
     }
@@ -252,7 +255,10 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
     fn from_value(v: &Value) -> Result<Self, Error> {
         let arr = v.as_array().ok_or_else(|| Error::expected("array", v))?;
         if arr.len() != 3 {
-            return Err(Error::msg(format!("expected 3-tuple, got {} items", arr.len())));
+            return Err(Error::msg(format!(
+                "expected 3-tuple, got {} items",
+                arr.len()
+            )));
         }
         Ok((
             A::from_value(&arr[0])?,
@@ -346,7 +352,10 @@ mod tests {
     fn option_maps_null() {
         assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
         assert_eq!(None::<u64>.to_value(), Value::Null);
-        assert_eq!(Option::<u64>::from_value(&5u64.to_value()).unwrap(), Some(5));
+        assert_eq!(
+            Option::<u64>::from_value(&5u64.to_value()).unwrap(),
+            Some(5)
+        );
     }
 
     #[test]

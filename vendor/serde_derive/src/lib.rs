@@ -32,8 +32,14 @@ enum Mode {
 }
 
 enum Item {
-    Struct { name: String, fields: Vec<String> },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 struct Variant {
@@ -46,7 +52,9 @@ fn expand(input: TokenStream, mode: Mode) -> TokenStream {
     let item = match parse_item(input) {
         Ok(item) => item,
         Err(msg) => {
-            return format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+            return format!("compile_error!({msg:?});")
+                .parse()
+                .expect("valid error tokens")
         }
     };
     let code = match (&item, mode) {
@@ -66,7 +74,10 @@ struct Cursor {
 
 impl Cursor {
     fn new(stream: TokenStream) -> Self {
-        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -146,8 +157,14 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         }
     };
     match kind.as_str() {
-        "struct" => Ok(Item::Struct { name, fields: parse_named_fields(body)? }),
-        "enum" => Ok(Item::Enum { name, variants: parse_variants(body)? }),
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
         other => Err(format!("cannot derive for `{other}`")),
     }
 }
@@ -164,7 +181,11 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
         let field = c.expect_ident("field name")?;
         match c.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            other => return Err(format!("expected `:` after field `{field}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
         }
         fields.push(field);
         // Consume the type: everything up to a comma at angle-bracket depth 0.
@@ -201,9 +222,10 @@ fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
         let name = c.expect_ident("variant name")?;
         let newtype = match c.peek() {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                let has_multiple = Cursor::new(g.stream()).tokens.iter().any(|t| {
-                    matches!(t, TokenTree::Punct(p) if p.as_char() == ',')
-                });
+                let has_multiple = Cursor::new(g.stream())
+                    .tokens
+                    .iter()
+                    .any(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','));
                 // A trailing comma after one type would false-positive here,
                 // but the workspace writes `Variant(Type)` without one.
                 if has_multiple {
