@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bench_guard [--check] [--dir PATH] [--tolerance F] [--quick]
-//!             [--passes K] [--no-write] [--version]
+//!             [--passes K] [--no-write] [--spans FILE] [--version]
 //!
 //!   (default)      measure and write the next BENCH_<n>.json in --dir
 //!   --check        additionally compare against the newest existing
@@ -19,12 +19,15 @@
 //!                  full baselines never compare against each other)
 //!   --passes K     timed passes per benchmark, median recorded (default 5)
 //!   --no-write     measure and check without writing a new BENCH file
+//!   --spans FILE   also run one span-traced sweep and write its
+//!                  Perfetto trace_event JSON to FILE
 //! ```
 //!
 //! Exit status: 0 clean, 1 regression or comparison error, 2 usage error.
 
 use seta_bench::guard::{
-    baseline_files, compare, load_report, measure, render, write_report, GuardConfig, ViolationKind,
+    baseline_files, compare, load_report, measure, render, span_trace_artifact, write_report,
+    GuardConfig, ViolationKind,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,6 +39,7 @@ struct Options {
     quick: bool,
     passes: usize,
     write: bool,
+    spans: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Option<Options>, String> {
@@ -46,6 +50,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         quick: false,
         passes: 5,
         write: true,
+        spans: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,6 +61,10 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--dir" => {
                 let v = args.next().ok_or("--dir needs a path")?;
                 opts.dir = PathBuf::from(v);
+            }
+            "--spans" => {
+                let v = args.next().ok_or("--spans needs a path")?;
+                opts.spans = Some(PathBuf::from(v));
             }
             "--tolerance" => {
                 let v = args.next().ok_or("--tolerance needs a value")?;
@@ -82,7 +91,7 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--help" | "-h" => {
                 println!(
                     "bench_guard [--check] [--dir PATH] [--tolerance F] [--quick] \
-                     [--passes K] [--no-write] [--version]"
+                     [--passes K] [--no-write] [--spans FILE] [--version]"
                 );
                 return Ok(None);
             }
@@ -135,6 +144,19 @@ fn run(opts: &Options) -> Result<(), String> {
         }
     }
     print!("{}", render(&report));
+
+    if let Some(path) = &opts.spans {
+        let trace = span_trace_artifact(opts.quick);
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?,
+        );
+        use std::io::Write as _;
+        trace
+            .write_perfetto("bench_guard sweep", &mut f)
+            .and_then(|()| f.flush())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!("span trace ({} spans) -> {}", trace.len(), path.display());
+    }
 
     if opts.write {
         let path = write_report(&opts.dir, &report)?;

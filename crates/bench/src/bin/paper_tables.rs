@@ -7,6 +7,8 @@
 //!              banked hashrehash warmth invalidation timing contention deep policy extensions
 //!              run (one fully instrumented simulation)
 //!              explain (probe-level event tracing and cost attribution)
+//!              sweep (span-traced associativity sweep; --trace-out/--flame/--report/--threads)
+//!              diff a b (numeric artifact diff; exit 1 on probe divergence)
 //!   --scale N        shrink the trace by N× (default 1 = full 8M references)
 //!   --seed S         workload seed (default the experiments' fixed seed)
 //!   --json           emit machine-readable JSON instead of text tables
@@ -26,7 +28,10 @@ use seta_sim::experiments::{
 };
 use seta_sim::explain::{explain, ExplainConfig};
 use seta_sim::metered::{simulate_instrumented, MeterConfig};
-use seta_sim::runner::{simulate, standard_strategies};
+use seta_sim::runner::{
+    simulate, simulate_many_traced, simulate_many_traced_with_threads, standard_strategies, RunSpec,
+};
+use seta_sim::sweep_report::SweepReport;
 use seta_trace::gen::AtumLike;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -43,6 +48,11 @@ struct Options {
     progress_interval: Option<u64>,
     assoc: u32,
     prom: Option<String>,
+    trace_out: Option<String>,
+    flame: Option<String>,
+    report: bool,
+    threads: Option<usize>,
+    diff_paths: Vec<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -63,6 +73,11 @@ fn parse_args() -> Result<Options, String> {
         progress_interval: None,
         assoc: 4,
         prom: None,
+        trace_out: None,
+        flame: None,
+        report: false,
+        threads: None,
+        diff_paths: Vec::new(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -98,11 +113,29 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("bad --progress-interval {v}: {e}"))?,
                 );
             }
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+            }
+            "--flame" => {
+                opts.flame = Some(args.next().ok_or("--flame needs a path")?);
+            }
+            "--report" => opts.report = true,
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                let t: usize = v.parse().map_err(|e| format!("bad --threads {v}: {e}"))?;
+                if t == 0 {
+                    return Err("--threads must be positive".into());
+                }
+                opts.threads = Some(t);
+            }
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
             "--version" => {
                 println!("paper_tables {}", env!("CARGO_PKG_VERSION"));
                 std::process::exit(0);
+            }
+            other if opts.experiment == "diff" && !other.starts_with("--") => {
+                opts.diff_paths.push(other.to_owned());
             }
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
@@ -117,7 +150,11 @@ fn usage() -> String {
      paper:      table1 table2 fig3 fig4 fig5 fig6 table4 calibrate all\n\
      extensions: banked hashrehash warmth invalidation timing contention deep policy extensions\n\
      run:        one fully instrumented simulation of the figures hierarchy\n\
-     explain:    probe-level event tracing and cost attribution (JSONL via --metrics)"
+     explain:    probe-level event tracing and cost attribution (JSONL via --metrics)\n\
+     sweep:      a span-traced associativity sweep\n\
+     \x20        [--trace-out t.json] [--flame t.folded] [--report] [--threads N]\n\
+     diff:       paper_tables diff a.jsonl b.jsonl — numeric artifact diff\n\
+     \x20        (exit 1 when probe accounting diverges)"
         .into()
 }
 
@@ -196,6 +233,7 @@ fn run_instrumented(p: &ExperimentParams, opts: &Options) -> Result<(), String> 
         progress: opts.progress,
         progress_interval_secs: opts.progress_interval,
         expected_refs: Some(p.trace.total_refs()),
+        window_refs: seta_obs::DEFAULT_WINDOW_REFS,
     };
     let mut writer = match &opts.metrics {
         Some(path) => Some(BufWriter::new(
@@ -296,6 +334,101 @@ fn run_explain(p: &ExperimentParams, opts: &Options) -> Result<(), String> {
         return Err("explain: an exact accounting identity failed (bug)".into());
     }
     Ok(())
+}
+
+/// A span-traced associativity sweep of the figures hierarchy: runs the
+/// standard 1/2/4/8-way configurations through the sharded sweep runner
+/// with tracing on, then exports the trace (Perfetto JSON and collapsed
+/// flamegraph) and the utilization report derived from it.
+fn run_sweep(p: &ExperimentParams, opts: &Options) -> Result<(), String> {
+    let preset = p.preset;
+    let l1 = preset.l1().map_err(|e| e.to_string())?;
+    let specs: Vec<RunSpec> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&assoc| {
+            Ok(RunSpec {
+                l1,
+                l2: preset.l2(assoc).map_err(|e| e.to_string())?,
+                trace: p.trace.clone(),
+                seed: p.seed,
+                tag_bits: p.tag_bits,
+            })
+        })
+        .collect::<Result<_, String>>()?;
+    let (outcomes, trace) = match opts.threads {
+        Some(t) => simulate_many_traced_with_threads(&specs, t),
+        None => simulate_many_traced(&specs),
+    };
+    if let Some(path) = &opts.trace_out {
+        let mut f = BufWriter::new(File::create(path).map_err(|e| format!("create {path}: {e}"))?);
+        trace
+            .write_perfetto("paper_tables sweep", &mut f)
+            .and_then(|()| f.flush())
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.flame {
+        let mut f = BufWriter::new(File::create(path).map_err(|e| format!("create {path}: {e}"))?);
+        trace
+            .write_collapsed(&mut f)
+            .and_then(|()| f.flush())
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    let report = SweepReport::from_trace(&trace);
+    let mut manifest = RunManifest::new(env!("CARGO_PKG_VERSION"));
+    manifest.label("experiment", "sweep");
+    manifest.label("scale", opts.scale);
+    manifest.label("seed", p.seed);
+    report.annotate(&mut manifest);
+    if let Some(path) = &opts.metrics {
+        write_experiment_manifest(path, &manifest)?;
+    }
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcomes).expect("outcomes serialize")
+        );
+    } else {
+        println!(
+            "sweep of {} specs over {}",
+            specs.len(),
+            outcomes[0].l1_label
+        );
+        for out in &outcomes {
+            println!(
+                "  {:>2}-way {}: L2 local miss {:.4}",
+                out.assoc,
+                out.l2_label,
+                out.hierarchy.local_miss_ratio()
+            );
+        }
+    }
+    if opts.report {
+        print!("{}", report.render());
+    }
+    if let Some(path) = &opts.trace_out {
+        eprintln!("perfetto trace ({} spans) -> {path}", trace.len());
+    }
+    Ok(())
+}
+
+/// `paper_tables diff a b`: numeric comparison of two metrics artifacts.
+/// Exits non-zero when probe accounting diverges between the two runs.
+fn run_diff(opts: &Options) -> Result<bool, String> {
+    let [a, b] = match opts.diff_paths.as_slice() {
+        [a, b] => [a, b],
+        other => {
+            return Err(format!(
+                "diff needs exactly two artifact paths, got {}\n{}",
+                other.len(),
+                usage()
+            ))
+        }
+    };
+    let ta = std::fs::read_to_string(a).map_err(|e| format!("read {a}: {e}"))?;
+    let tb = std::fs::read_to_string(b).map_err(|e| format!("read {b}: {e}"))?;
+    let report = seta_obs::diff_artifacts(&ta, &tb)?;
+    print!("{}", report.render());
+    Ok(report.probe_divergence())
 }
 
 #[derive(Clone, Copy)]
@@ -426,11 +559,24 @@ fn main() -> ExitCode {
         }
     };
     let p = params(&opts);
-    if opts.experiment == "run" || opts.experiment == "explain" {
-        let result = if opts.experiment == "run" {
-            run_instrumented(&p, &opts)
-        } else {
-            run_explain(&p, &opts)
+    if opts.experiment == "diff" {
+        return match run_diff(&opts) {
+            Ok(false) => ExitCode::SUCCESS,
+            Ok(true) => {
+                eprintln!("probe accounting diverges between the two artifacts");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if matches!(opts.experiment.as_str(), "run" | "explain" | "sweep") {
+        let result = match opts.experiment.as_str() {
+            "run" => run_instrumented(&p, &opts),
+            "sweep" => run_sweep(&p, &opts),
+            _ => run_explain(&p, &opts),
         };
         return match result {
             Ok(()) => ExitCode::SUCCESS,

@@ -9,6 +9,9 @@
 //! trace_tool explain  <in> [--assoc A] [--tag-bits T] [--l1-size B]
 //!                          [--l1-block B] [--l2-size B] [--l2-block B]
 //!                          [--sample-every N]
+//! trace_tool sim      <in> [same geometry flags as explain]
+//!                          [--window N] [--windows out.jsonl]
+//!                          [--trace-out out.perfetto.json]
 //!
 //! Every command also accepts --metrics <out.jsonl> (write a final
 //! metrics/manifest snapshot; for explain, the full JSONL report),
@@ -20,6 +23,7 @@
 use seta_cache::{CacheConfig, MattsonAnalyzer};
 use seta_obs::{labeled, MetricsRegistry, Progress, RunManifest};
 use seta_sim::explain::{explain, ExplainConfig};
+use seta_sim::metered::{simulate_instrumented, MeterConfig};
 use seta_sim::runner::standard_strategies;
 use seta_trace::format::{
     BinaryReader, BinaryWriter, DineroReader, DineroWriter, TextReader, TextWriter,
@@ -54,6 +58,8 @@ fn usage() -> String {
      trace_tool mattson <in> [--block N] [--sets N] [--max-assoc N]\n  \
      trace_tool explain <in> [--assoc A] [--tag-bits T] [--l1-size B] [--l1-block B]\n  \
      \x20                    [--l2-size B] [--l2-block B] [--sample-every N]\n  \
+     trace_tool sim <in> [geometry flags] [--window N] [--windows out.jsonl]\n  \
+     \x20                [--trace-out out.perfetto.json]\n  \
      trace_tool --version\n\
      every command also accepts --metrics <out.jsonl>, --progress and\n\
      --progress-interval <secs>; for explain, --metrics writes the JSONL report\n\
@@ -439,6 +445,116 @@ fn explain_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays a trace file through the metered simulation loop: prints the
+/// per-segment phase table derived from the windowed time series,
+/// optionally writes the window rows as typed JSONL (`--windows`) and the
+/// run's span trace as Perfetto JSON (`--trace-out`).
+fn sim_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let input = args.next().ok_or_else(usage)?;
+    let mut assoc = 4u32;
+    let mut tag_bits = 16u32;
+    let mut l1_size = 4 * 1024u64;
+    let mut l1_block = 16u64;
+    let mut l2_size = 16 * 1024u64;
+    let mut l2_block = 32u64;
+    let mut window = seta_obs::DEFAULT_WINDOW_REFS;
+    let mut windows_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut obs = Obs::default();
+    while let Some(a) = args.next() {
+        if obs.consume(&a, &mut args)? {
+            continue;
+        }
+        match a.as_str() {
+            "--assoc" => assoc = parse_u64(&mut args, "--assoc")? as u32,
+            "--tag-bits" => tag_bits = parse_u64(&mut args, "--tag-bits")? as u32,
+            "--l1-size" => l1_size = parse_u64(&mut args, "--l1-size")?,
+            "--l1-block" => l1_block = parse_u64(&mut args, "--l1-block")?,
+            "--l2-size" => l2_size = parse_u64(&mut args, "--l2-size")?,
+            "--l2-block" => l2_block = parse_u64(&mut args, "--l2-block")?,
+            "--window" => {
+                window = parse_u64(&mut args, "--window")?;
+                if window == 0 {
+                    return Err("--window must be positive".into());
+                }
+            }
+            "--windows" => {
+                windows_out = Some(args.next().ok_or("--windows needs a path")?);
+            }
+            "--trace-out" => {
+                trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    if !assoc.is_power_of_two() {
+        return Err("--assoc must be a power of two".into());
+    }
+    let l1 = CacheConfig::direct_mapped(l1_size, l1_block).map_err(|e| e.to_string())?;
+    let l2 = CacheConfig::new(l2_size, l2_block, assoc).map_err(|e| e.to_string())?;
+    let events = read_events(Path::new(&input))?;
+    let strategies = standard_strategies(assoc, tag_bits);
+    let cfg = MeterConfig {
+        snapshot_every: 100_000,
+        progress: obs.progress,
+        progress_interval_secs: obs.progress_interval,
+        expected_refs: None,
+        window_refs: window,
+    };
+    let mut writer = match &obs.metrics {
+        Some(path) => Some(BufWriter::new(
+            File::create(path).map_err(|e| format!("create {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    let run = simulate_instrumented(
+        l1,
+        l2,
+        events.iter().copied(),
+        &strategies,
+        &input,
+        0,
+        &cfg,
+        writer.as_mut(),
+    )
+    .map_err(|e| format!("write metrics: {e}"))?;
+    if let Some(path) = &windows_out {
+        let mut f = BufWriter::new(File::create(path).map_err(|e| format!("create {path}: {e}"))?);
+        seta_obs::timeseries::write_jsonl(&run.windows, &mut f)
+            .and_then(|()| f.flush())
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if let Some(path) = &trace_out {
+        let mut f = BufWriter::new(File::create(path).map_err(|e| format!("create {path}: {e}"))?);
+        run.spans
+            .write_perfetto("trace_tool sim", &mut f)
+            .and_then(|()| f.flush())
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    let out = &run.outcome;
+    println!(
+        "{input}: {} over {} ({}-way L2), {} refs, L2 local miss {:.4}",
+        out.l1_label,
+        out.l2_label,
+        out.assoc,
+        out.hierarchy.processor_refs,
+        out.hierarchy.local_miss_ratio()
+    );
+    let names: Vec<String> = strategies.iter().map(|s| s.name()).collect();
+    print!(
+        "{}",
+        seta_obs::timeseries::phase_table(&run.windows, &names)
+    );
+    if let Some(path) = &windows_out {
+        eprintln!(
+            "{} window rows ({} refs each) -> {path}",
+            run.windows.len(),
+            window
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let cmd = match args.next() {
@@ -454,6 +570,7 @@ fn main() -> ExitCode {
         "stats" => stats(args),
         "mattson" => mattson(args),
         "explain" => explain_cmd(args),
+        "sim" => sim_cmd(args),
         "--version" | "-V" => {
             println!("trace_tool {}", env!("CARGO_PKG_VERSION"));
             return ExitCode::SUCCESS;

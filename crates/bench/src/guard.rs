@@ -31,8 +31,12 @@ use seta_core::lookup::{
 };
 use seta_core::SetView;
 use seta_obs::RunManifest;
+use seta_obs::SpanTrace;
 use seta_sim::explain::{explain, ExplainConfig};
-use seta_sim::runner::{simulate, simulate_many, standard_strategies, RunOutcome, RunSpec};
+use seta_sim::runner::{
+    simulate, simulate_many, simulate_many_traced, simulate_traced, standard_strategies,
+    RunOutcome, RunSpec,
+};
 use seta_trace::format::DineroReader;
 use seta_trace::gen::AtumLikeConfig;
 use seta_trace::TraceEvent;
@@ -338,6 +342,25 @@ pub fn measure(cfg: &GuardConfig) -> GuardReport {
     manifest.end_phase(phase);
     benchmarks.push(record("simulate/tiny_din", median, probes, accesses));
 
+    // The same simulation with the span recorder on: its outcome must be
+    // bit-identical (spans only bracket segments, never the per-access
+    // path), and its wall-time trajectory next to simulate/tiny_din IS the
+    // span-recorder overhead, guarded like any other benchmark.
+    let untraced = simulate(l1, l2, events.iter().copied(), &strategies);
+    let phase = manifest.begin_phase("simulate/tiny_din_traced");
+    let (median, probes, accesses) = run_passes(cfg.passes, || {
+        let (out, trace) = simulate_traced(l1, l2, events.iter().copied(), &strategies);
+        assert_eq!(
+            fingerprint(&out),
+            fingerprint(&untraced),
+            "traced simulate diverged from the un-traced simulation"
+        );
+        assert!(!trace.is_empty(), "traced run recorded no spans");
+        (outcome_probes(&out), out.hierarchy.processor_refs)
+    });
+    manifest.end_phase(phase);
+    benchmarks.push(record("simulate/tiny_din_traced", median, probes, accesses));
+
     // The instrumented explain pass on the same trace: its outcome must be
     // bit-identical, and its wall-time trajectory guards the cost of the
     // always-on ProbeObserver plumbing (the un-instrumented lookup path is
@@ -430,6 +453,27 @@ pub fn measure(cfg: &GuardConfig) -> GuardReport {
         sharded_speedup,
         manifest,
     }
+}
+
+/// One span-traced sweep over the guard's multi-segment spec, for the
+/// `--spans` trace artifact. The outcome is asserted bit-identical to the
+/// sequential runner before the trace is handed back, so an exported
+/// trace always describes a verified run.
+pub fn span_trace_artifact(quick: bool) -> SpanTrace {
+    let spec = sweep_spec(quick);
+    let seq = simulate(
+        spec.l1,
+        spec.l2,
+        seta_trace::gen::AtumLike::new(spec.trace.clone(), spec.seed),
+        &standard_strategies(spec.l2.associativity(), spec.tag_bits),
+    );
+    let (outs, trace) = simulate_many_traced(std::slice::from_ref(&spec));
+    assert_eq!(
+        fingerprint(&outs[0]),
+        fingerprint(&seq),
+        "traced sweep diverged from the sequential runner"
+    );
+    trace
 }
 
 fn git_short_rev() -> Option<String> {

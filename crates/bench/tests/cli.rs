@@ -228,3 +228,114 @@ fn trace_tool_generate_and_stats_emit_metrics() {
         serde_json::json!(["command", "stats"])
     );
 }
+
+#[test]
+fn paper_tables_sweep_writes_valid_perfetto_and_prints_report() {
+    let trace = tmp("sweep.perfetto.json");
+    let flame = tmp("sweep.folded");
+    let out = paper_tables(&[
+        "sweep",
+        "--scale",
+        "400",
+        "--threads",
+        "2",
+        "--report",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--flame",
+        flame.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("busy%"), "utilization report missing: {text}");
+    assert!(text.contains("load balance"), "{text}");
+    let json = std::fs::read_to_string(&trace).unwrap();
+    let events = seta_obs::validate_perfetto(&json).expect("valid Perfetto trace_event JSON");
+    assert!(events > 0, "trace holds at least one complete event");
+    let folded = std::fs::read_to_string(&flame).unwrap();
+    assert!(
+        folded.lines().any(|l| l.starts_with("main;sweep")),
+        "collapsed stacks start at the sweep root: {folded}"
+    );
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&flame);
+}
+
+#[test]
+fn paper_tables_diff_distinguishes_identical_from_divergent_runs() {
+    let a = tmp("diff-a.jsonl");
+    let b = tmp("diff-b.jsonl");
+    for (path, seed) in [(&a, "7"), (&b, "8")] {
+        let out = paper_tables(&[
+            "run",
+            "--scale",
+            "400",
+            "--seed",
+            seed,
+            "--metrics",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // An artifact always agrees with itself.
+    let out = paper_tables(&["diff", a.to_str().unwrap(), a.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Different seeds book different probes: exit 1 with a divergence note.
+    let out = paper_tables(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("probe accounting diverges"), "{err}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("PROBE DIVERGENCE"), "{text}");
+    // A missing file is a usage error (2), not a divergence.
+    let out = paper_tables(&["diff", a.to_str().unwrap(), "/nonexistent-artifact"]);
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}
+
+#[test]
+fn trace_tool_sim_prints_phase_table_and_writes_window_rows() {
+    let windows = tmp("sim-windows.jsonl");
+    let perfetto = tmp("sim.perfetto.json");
+    let out = trace_tool(&[
+        "sim",
+        tiny_trace(),
+        "--window",
+        "2000",
+        "--windows",
+        windows.to_str().unwrap(),
+        "--trace-out",
+        perfetto.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("miss-ratio"), "phase table missing: {text}");
+    let rows = std::fs::read_to_string(&windows).unwrap();
+    let mut refs = 0u64;
+    for line in rows.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("window row parses");
+        refs += v["refs_end"].as_u64().unwrap() - v["refs_start"].as_u64().unwrap();
+    }
+    assert_eq!(refs, 8000, "window rows cover the whole trace exactly");
+    let json = std::fs::read_to_string(&perfetto).unwrap();
+    seta_obs::validate_perfetto(&json).expect("valid Perfetto trace_event JSON");
+    let _ = std::fs::remove_file(&windows);
+    let _ = std::fs::remove_file(&perfetto);
+}

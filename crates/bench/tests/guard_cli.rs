@@ -178,3 +178,29 @@ fn version_flag_prints_and_exits_zero() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("bench_guard"));
 }
+
+#[test]
+fn spans_flag_writes_valid_perfetto_trace() {
+    let dir = tmp_dir("spans");
+    let spans = dir.join("guard.perfetto.json");
+    let out = bench_guard()
+        .args(["--quick", "--passes", "1", "--no-write", "--spans"])
+        .arg(&spans)
+        .output()
+        .expect("spawn bench_guard");
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let json = std::fs::read_to_string(&spans).expect("spans file written");
+    let events = seta_obs::validate_perfetto(&json).expect("valid Perfetto trace_event JSON");
+    assert!(events > 0);
+    assert!(
+        stderr_of(&out).contains("span trace"),
+        "{}",
+        stderr_of(&out)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        stdout.contains("simulate/tiny_din_traced"),
+        "traced overhead benchmark missing:\n{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -129,6 +129,176 @@ pub fn prometheus_text(registry: &MetricsRegistry) -> String {
     out
 }
 
+/// One numeric quantity present in both artifacts of a diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Dotted path of the quantity, e.g. `counters.probes_total`.
+    pub name: String,
+    /// Value in the first artifact.
+    pub a: f64,
+    /// Value in the second artifact.
+    pub b: f64,
+}
+
+impl DiffRow {
+    /// `b − a`.
+    pub fn delta(&self) -> f64 {
+        self.b - self.a
+    }
+}
+
+/// Numeric comparison of two metrics artifacts (see [`diff_artifacts`]).
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Quantities present in both artifacts, sorted by name.
+    pub rows: Vec<DiffRow>,
+    /// Names only the first artifact has.
+    pub only_a: Vec<String>,
+    /// Names only the second artifact has.
+    pub only_b: Vec<String>,
+}
+
+impl DiffReport {
+    /// Rows whose values differ.
+    pub fn changed(&self) -> Vec<&DiffRow> {
+        self.rows.iter().filter(|r| r.a != r.b).collect()
+    }
+
+    /// True when any probe-accounting quantity differs — two runs of the
+    /// same experiment must book identical probe counts, so a non-zero
+    /// delta here means the runs simulated different work.
+    pub fn probe_divergence(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|r| r.a != r.b && r.name.contains("probe"))
+    }
+
+    /// Renders the comparison as an aligned text table: changed rows
+    /// with both values and the delta, then names unique to one side.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let changed = self.changed();
+        if changed.is_empty() {
+            out.push_str("no numeric differences\n");
+        } else {
+            let width = changed.iter().map(|r| r.name.len()).max().unwrap_or(4);
+            out.push_str(&format!(
+                "{:<width$}  {:>16}  {:>16}  {:>16}\n",
+                "name", "a", "b", "delta"
+            ));
+            for r in &changed {
+                out.push_str(&format!(
+                    "{:<width$}  {:>16}  {:>16}  {:>+16}\n",
+                    r.name,
+                    r.a,
+                    r.b,
+                    r.delta()
+                ));
+            }
+        }
+        for name in &self.only_a {
+            out.push_str(&format!("only in a: {name}\n"));
+        }
+        for name in &self.only_b {
+            out.push_str(&format!("only in b: {name}\n"));
+        }
+        out.push_str(&format!(
+            "{} quantities compared, {} changed{}\n",
+            self.rows.len(),
+            changed.len(),
+            if self.probe_divergence() {
+                " — PROBE DIVERGENCE"
+            } else {
+                ""
+            }
+        ));
+        out
+    }
+}
+
+/// Collects every numeric leaf of `value` under dotted paths into `out`.
+fn flatten_numbers(prefix: &str, value: &Value, out: &mut std::collections::BTreeMap<String, f64>) {
+    match value {
+        Value::Number(n) => {
+            out.insert(prefix.to_owned(), n.as_f64());
+        }
+        Value::Object(map) => {
+            for (k, v) in map {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten_numbers(&path, v, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten_numbers(&format!("{prefix}[{i}]"), v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Parses one metrics artifact into its numeric leaves.
+///
+/// Accepts either a whole-file JSON document or a JSONL stream of
+/// snapshot lines (as written by [`snapshot_line`]); for a stream, the
+/// last parseable object wins — that is the final snapshot, which
+/// carries the run's aggregate counters.
+fn artifact_numbers(text: &str) -> Result<std::collections::BTreeMap<String, f64>, String> {
+    let is_object = |v: &Value| matches!(v, Value::Object(_));
+    let doc: Option<Value> = serde_json::from_str(text).ok().filter(is_object);
+    let doc = match doc {
+        Some(d) => d,
+        None => text
+            .lines()
+            .filter_map(|l| serde_json::from_str::<Value>(l.trim()).ok())
+            .rfind(is_object)
+            .ok_or_else(|| "no JSON object found in artifact".to_owned())?,
+    };
+    let mut out = std::collections::BTreeMap::new();
+    flatten_numbers("", &doc, &mut out);
+    if out.is_empty() {
+        return Err("artifact contains no numeric quantities".to_owned());
+    }
+    Ok(out)
+}
+
+/// Compares two metrics artifacts numerically.
+///
+/// Each artifact may be a whole-file JSON report or a metrics JSONL
+/// stream (the final snapshot is compared). Every numeric leaf is
+/// matched by its dotted path; [`DiffReport::probe_divergence`] flags
+/// runs whose probe accounting disagrees.
+///
+/// # Errors
+///
+/// Returns a message when either artifact holds no parseable JSON
+/// object or no numeric quantities.
+pub fn diff_artifacts(a: &str, b: &str) -> Result<DiffReport, String> {
+    let na = artifact_numbers(a).map_err(|e| format!("artifact a: {e}"))?;
+    let nb = artifact_numbers(b).map_err(|e| format!("artifact b: {e}"))?;
+    let mut report = DiffReport::default();
+    for (name, &va) in &na {
+        match nb.get(name) {
+            Some(&vb) => report.rows.push(DiffRow {
+                name: name.clone(),
+                a: va,
+                b: vb,
+            }),
+            None => report.only_a.push(name.clone()),
+        }
+    }
+    for name in nb.keys() {
+        if !na.contains_key(name) {
+            report.only_b.push(name.clone());
+        }
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +360,65 @@ mod tests {
         assert!(text.contains("probe_count_bucket{le=\"+Inf\"} 4"), "{text}");
         assert!(text.contains("probe_count_sum 9"), "{text}");
         assert!(text.contains("probe_count_count 4"), "{text}");
+    }
+
+    #[test]
+    fn diff_spots_counter_deltas_between_jsonl_streams() {
+        let mut m1 = sample_registry();
+        let a = format!(
+            "{}\n{}\n",
+            snapshot_line(&m1, 0, 5_000),
+            snapshot_line(&m1, 1, 10_000)
+        );
+        let c = m1.counter(&labeled("probes_total", "strategy", "mru"));
+        m1.inc(c, 9);
+        let b = snapshot_line(&m1, 1, 10_000);
+        let report = diff_artifacts(&a, &b).unwrap();
+        assert!(report.probe_divergence());
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.name.contains("probes_total"))
+            .unwrap();
+        assert_eq!(row.a, 41.0);
+        assert_eq!(row.b, 50.0);
+        assert_eq!(row.delta(), 9.0);
+        assert!(report.render().contains("PROBE DIVERGENCE"));
+    }
+
+    #[test]
+    fn diff_of_identical_artifacts_is_clean() {
+        let line = snapshot_line(&sample_registry(), 2, 1_000);
+        let report = diff_artifacts(&line, &line).unwrap();
+        assert!(!report.probe_divergence());
+        assert!(report.changed().is_empty());
+        assert!(report.only_a.is_empty() && report.only_b.is_empty());
+        assert!(report.render().contains("no numeric differences"));
+    }
+
+    #[test]
+    fn diff_accepts_whole_file_json_and_tracks_missing_names() {
+        let a = r#"{"bench": {"wall_micros": 100, "probes": 7}, "extra": 1}"#;
+        let b = r#"{"bench": {"wall_micros": 130, "probes": 7}, "other": 2}"#;
+        let report = diff_artifacts(a, b).unwrap();
+        assert!(
+            !report.probe_divergence(),
+            "equal probes are not divergence"
+        );
+        assert_eq!(report.only_a, vec!["extra".to_owned()]);
+        assert_eq!(report.only_b, vec!["other".to_owned()]);
+        let wall = report
+            .rows
+            .iter()
+            .find(|r| r.name == "bench.wall_micros")
+            .unwrap();
+        assert_eq!(wall.delta(), 30.0);
+    }
+
+    #[test]
+    fn diff_rejects_empty_artifacts() {
+        assert!(diff_artifacts("", "{}").is_err());
+        assert!(diff_artifacts(r#"{"x": 1}"#, "not json").is_err());
     }
 
     #[test]

@@ -13,8 +13,12 @@
 //! * [`RunManifest`] — what ran: config labels, trace identity, crate
 //!   version, and wall-clock per phase;
 //! * [`export`] — snapshot serialization as JSON lines and Prometheus
-//!   text exposition;
-//! * [`Progress`] — a refs/sec + ETA heartbeat on stderr.
+//!   text exposition, plus artifact diffing;
+//! * [`Progress`] — a refs/sec + ETA heartbeat on stderr;
+//! * [`spans`] — hierarchical span tracing with Perfetto `trace_event`
+//!   and collapsed-stack flamegraph exporters;
+//! * [`timeseries`] — fixed-window series of miss ratio, probes/access
+//!   and MRU position-0 hit fraction per strategy.
 //!
 //! The crate is a leaf: it knows nothing about caches or traces. The
 //! simulator's metered entry points (see `seta_sim::metered`) feed it,
@@ -26,13 +30,18 @@ mod registry;
 
 pub mod events;
 pub mod export;
+pub mod spans;
+pub mod timeseries;
 
 pub use events::{
     EventRing, FalseMatchStats, FalseMatchTally, PositionHistogram, ProbeEvent, SetHeatmap,
 };
+pub use export::{diff_artifacts, DiffReport, DiffRow};
 pub use manifest::{PhaseSpan, RunManifest, TraceIdentity};
 pub use progress::Progress;
 pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, Log2Histogram, MetricsRegistry};
+pub use spans::{validate_perfetto, SpanBuffer, SpanClock, SpanId, SpanRecord, SpanTrace};
+pub use timeseries::{StrategyWindow, WindowRecord, WindowSeries, DEFAULT_WINDOW_REFS};
 
 /// Formats a Prometheus-style metric name with one label, e.g.
 /// `probes_total{strategy="mru"}`. Registry names are plain strings;

@@ -1,0 +1,539 @@
+//! Span-based runtime tracing: hierarchical timed spans with counter
+//! attachments, merged across workers and exported as Chrome/Perfetto
+//! `trace_event` JSON or a collapsed-stack flamegraph.
+//!
+//! The model is deliberately small:
+//!
+//! * a [`SpanClock`] is a shared monotonic epoch; clones handed to worker
+//!   threads all measure microseconds since the same instant;
+//! * a [`SpanBuffer`] is one worker's private, lock-free record of spans.
+//!   Spans close strictly LIFO ([`close`](SpanBuffer::close) panics
+//!   otherwise), so every buffer is well-nested *by construction*;
+//! * a [`SpanTrace`] is the merge of all buffers at join time, and owns
+//!   the exporters.
+//!
+//! Buffers are plain `Vec` pushes — no locks, no I/O, no clock reads
+//! beyond one `Instant::elapsed` per open/close — so tracing a sweep adds
+//! two clock reads per *shard* (hundreds of thousands of references), not
+//! per access. The un-traced simulation paths never construct a buffer at
+//! all; see `seta_sim::runner` for how the no-op tracer monomorphizes
+//! away.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+use std::time::Instant;
+
+/// A shared monotonic epoch. Clone one clock into every worker so all
+/// tracks share a time base; [`Instant`] guarantees the per-clone stream
+/// of [`now_us`](SpanClock::now_us) readings never goes backwards.
+#[derive(Debug, Clone)]
+pub struct SpanClock {
+    epoch: Instant,
+}
+
+impl SpanClock {
+    /// A clock whose zero is "now".
+    pub fn new() -> Self {
+        SpanClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds since the epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+impl Default for SpanClock {
+    fn default() -> Self {
+        SpanClock::new()
+    }
+}
+
+/// One finished span: a named, categorized interval on a track (= worker
+/// thread), with attached counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name (`sweep`, `spec-2`, `shard 3..4`, `segment-0`, ...).
+    pub name: String,
+    /// Category, used as the Perfetto `cat` field and to select spans in
+    /// analysis passes (`sweep`, `shard`, `queue-wait`, `segment`, ...).
+    pub cat: String,
+    /// Track (thread lane) the span lives on; 0 is the coordinating
+    /// thread, workers are 1-based.
+    pub track: u32,
+    /// Nesting depth within the track (0 = top level).
+    pub depth: u32,
+    /// Start, microseconds since the trace's [`SpanClock`] epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Counter attachments (accesses, probes, misses, ...), in insertion
+    /// order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl SpanRecord {
+    /// End timestamp, microseconds since the epoch.
+    pub fn end_us(&self) -> u64 {
+        self.start_us + self.dur_us
+    }
+
+    /// A counter attachment by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Handle to a span opened in a [`SpanBuffer`]; pass back to
+/// [`close`](SpanBuffer::close) and [`counter`](SpanBuffer::counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+/// One worker's span recorder. Private to its thread (no interior
+/// locking); merged into a [`SpanTrace`] after the thread joins.
+#[derive(Debug)]
+pub struct SpanBuffer {
+    track: u32,
+    clock: SpanClock,
+    spans: Vec<SpanRecord>,
+    open: Vec<usize>,
+}
+
+impl SpanBuffer {
+    /// A buffer recording on `track`, timestamped by `clock`.
+    pub fn new(track: u32, clock: SpanClock) -> Self {
+        SpanBuffer {
+            track,
+            clock,
+            spans: Vec::new(),
+            open: Vec::new(),
+        }
+    }
+
+    /// The buffer's track.
+    pub fn track(&self) -> u32 {
+        self.track
+    }
+
+    /// Opens a span starting now, nested inside the innermost open span.
+    pub fn open(&mut self, name: impl Into<String>, cat: &str) -> SpanId {
+        let start = self.clock.now_us();
+        self.open_at(name, cat, start)
+    }
+
+    /// [`open`](SpanBuffer::open) with an explicit start timestamp, for
+    /// replaying externally measured intervals into a buffer.
+    pub fn open_at(&mut self, name: impl Into<String>, cat: &str, start_us: u64) -> SpanId {
+        let id = self.spans.len();
+        self.spans.push(SpanRecord {
+            name: name.into(),
+            cat: cat.to_owned(),
+            track: self.track,
+            depth: self.open.len() as u32,
+            start_us,
+            dur_us: 0,
+            counters: Vec::new(),
+        });
+        self.open.push(id);
+        SpanId(id)
+    }
+
+    /// Attaches (or accumulates into) a counter on a span, open or closed.
+    pub fn counter(&mut self, id: SpanId, name: &str, value: u64) {
+        let counters = &mut self.spans[id.0].counters;
+        if let Some(slot) = counters.iter_mut().find(|(n, _)| n == name) {
+            slot.1 += value;
+        } else {
+            counters.push((name.to_owned(), value));
+        }
+    }
+
+    /// Closes a span now.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `id` is the innermost open span — buffers are
+    /// well-nested by construction, and a cross-closed span is a bug in
+    /// the instrumentation, not a recoverable condition.
+    pub fn close(&mut self, id: SpanId) {
+        let end = self.clock.now_us();
+        self.close_at(id, end);
+    }
+
+    /// [`close`](SpanBuffer::close) with an explicit end timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `id` is the innermost open span, or if `end_us`
+    /// precedes the span's start.
+    pub fn close_at(&mut self, id: SpanId, end_us: u64) {
+        let innermost = self.open.pop();
+        assert_eq!(
+            innermost,
+            Some(id.0),
+            "span closed out of order (spans must close LIFO)"
+        );
+        let span = &mut self.spans[id.0];
+        assert!(
+            end_us >= span.start_us,
+            "span {} ends ({end_us}) before it starts ({})",
+            span.name,
+            span.start_us
+        );
+        span.dur_us = end_us - span.start_us;
+    }
+
+    /// Number of spans still open.
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Spans recorded so far (open spans have zero duration until closed).
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+}
+
+/// The merged trace of one run: every worker's spans plus track names,
+/// with the exporters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpanTrace {
+    /// All spans, grouped by track in buffer-merge order; within a track,
+    /// spans appear in open order.
+    pub spans: Vec<SpanRecord>,
+    /// Human-readable track names (`main`, `worker-1`, ...), rendered as
+    /// Perfetto thread-name metadata.
+    pub track_names: Vec<(u32, String)>,
+}
+
+impl SpanTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        SpanTrace::default()
+    }
+
+    /// Merges a finished worker buffer into the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer still has open spans — merging must happen
+    /// after the worker's instrumentation closed everything it opened.
+    pub fn absorb(&mut self, buf: SpanBuffer) {
+        assert_eq!(buf.open_spans(), 0, "cannot merge a buffer with open spans");
+        self.spans.extend(buf.spans);
+    }
+
+    /// Names a track for the exporters.
+    pub fn name_track(&mut self, track: u32, name: impl Into<String>) {
+        self.track_names.push((track, name.into()));
+    }
+
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans with a given category.
+    pub fn with_cat<'a>(&'a self, cat: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.cat == cat)
+    }
+
+    /// Sum of a named counter across every span carrying it.
+    pub fn counter_sum(&self, counter: &str) -> u64 {
+        self.spans.iter().filter_map(|s| s.counter(counter)).sum()
+    }
+
+    /// Serializes the trace as Chrome/Perfetto `trace_event` JSON — one
+    /// process, one thread lane per track, `ph: "X"` complete events with
+    /// the counters under `args`. The output loads directly in
+    /// `ui.perfetto.dev` or `chrome://tracing`.
+    pub fn write_perfetto<W: Write>(&self, process_name: &str, w: &mut W) -> io::Result<()> {
+        let mut events = Vec::new();
+        events.push(serde_json::json!({
+            "ph": "M", "pid": 1, "name": "process_name",
+            "args": {"name": process_name},
+        }));
+        for (track, name) in &self.track_names {
+            events.push(serde_json::json!({
+                "ph": "M", "pid": 1, "tid": track, "name": "thread_name",
+                "args": {"name": name},
+            }));
+        }
+        for span in &self.spans {
+            let mut args = serde_json::Map::new();
+            for (name, value) in &span.counters {
+                args.insert(name.clone(), serde_json::json!(value));
+            }
+            events.push(serde_json::json!({
+                "name": span.name, "cat": span.cat, "ph": "X",
+                "ts": span.start_us, "dur": span.dur_us,
+                "pid": 1, "tid": span.track,
+                "args": serde_json::Value::Object(args),
+            }));
+        }
+        let doc = serde_json::json!({
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+        });
+        w.write_all(
+            serde_json::to_string(&doc)
+                .expect("trace serializes")
+                .as_bytes(),
+        )
+    }
+
+    /// [`write_perfetto`](SpanTrace::write_perfetto) into a `String`.
+    pub fn perfetto_json(&self, process_name: &str) -> String {
+        let mut buf = Vec::new();
+        self.write_perfetto(process_name, &mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("JSON is UTF-8")
+    }
+
+    /// Renders the trace in the collapsed-stack ("folded") flamegraph
+    /// format: one `track;parent;child self_micros` line per distinct
+    /// stack, self time in microseconds, lines sorted for determinism.
+    /// Feed to any `flamegraph.pl`-compatible renderer.
+    pub fn collapsed(&self) -> String {
+        // Group spans by track, preserving open order (which the buffers
+        // recorded depth for), then charge each span its self time: total
+        // duration minus the duration of its direct children.
+        let mut folded: Vec<(String, u64)> = Vec::new();
+        let mut tracks: Vec<u32> = self.spans.iter().map(|s| s.track).collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        for track in tracks {
+            let name = self
+                .track_names
+                .iter()
+                .find(|(t, _)| *t == track)
+                .map(|(_, n)| n.clone())
+                .unwrap_or_else(|| format!("track-{track}"));
+            // path[d] = (stack prefix through depth d, span index)
+            let mut path: Vec<String> = Vec::new();
+            let spans: Vec<&SpanRecord> = self.spans.iter().filter(|s| s.track == track).collect();
+            // Self time: start from each span's duration, subtract each
+            // span's duration from its parent.
+            let mut self_us: Vec<u64> = spans.iter().map(|s| s.dur_us).collect();
+            let mut parent_at_depth: Vec<usize> = Vec::new();
+            for (i, span) in spans.iter().enumerate() {
+                parent_at_depth.truncate(span.depth as usize);
+                if let Some(&p) = parent_at_depth.last() {
+                    self_us[p] = self_us[p].saturating_sub(span.dur_us);
+                }
+                parent_at_depth.push(i);
+            }
+            for (i, span) in spans.iter().enumerate() {
+                path.truncate(span.depth as usize);
+                let frame = match path.last() {
+                    Some(prefix) => format!("{prefix};{}", span.name),
+                    None => format!("{name};{}", span.name),
+                };
+                folded.push((frame.clone(), self_us[i]));
+                path.push(frame);
+            }
+        }
+        // Aggregate identical stacks, then sort for reproducible output.
+        folded.sort();
+        let mut out = String::new();
+        let mut iter = folded.into_iter().peekable();
+        while let Some((stack, mut us)) = iter.next() {
+            while iter.peek().is_some_and(|(s, _)| *s == stack) {
+                us += iter.next().expect("peeked").1;
+            }
+            out.push_str(&format!("{stack} {us}\n"));
+        }
+        out
+    }
+
+    /// Writes [`collapsed`](SpanTrace::collapsed) output.
+    pub fn write_collapsed<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(self.collapsed().as_bytes())
+    }
+}
+
+/// Minimal schema check for a Perfetto `trace_event` JSON document, as
+/// written by [`SpanTrace::write_perfetto`]: a top-level `traceEvents`
+/// array whose every entry has a string `name` and `ph`, and — for `"X"`
+/// complete events — numeric `ts`, `dur`, `pid` and `tid`. Returns the
+/// number of complete events.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn validate_perfetto(text: &str) -> Result<usize, String> {
+    let doc: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("missing traceEvents array")?;
+    let mut complete = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or(format!("event {i}: missing ph"))?;
+        if ev.get("name").and_then(|v| v.as_str()).is_none() {
+            return Err(format!("event {i}: missing name"));
+        }
+        if ph == "X" {
+            for field in ["ts", "dur", "pid", "tid"] {
+                if ev.get(field).and_then(|v| v.as_u64()).is_none() {
+                    return Err(format!("event {i}: missing numeric {field}"));
+                }
+            }
+            complete += 1;
+        }
+    }
+    Ok(complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic two-track trace built from explicit timestamps.
+    fn sample_trace() -> SpanTrace {
+        let clock = SpanClock::new();
+        let mut main = SpanBuffer::new(0, clock.clone());
+        let sweep = main.open_at("sweep", "sweep", 0);
+        let merge = main.open_at("merge", "merge", 80);
+        main.close_at(merge, 90);
+        main.close_at(sweep, 100);
+        main.counter(sweep, "shards", 2);
+
+        let mut worker = SpanBuffer::new(1, clock);
+        let root = worker.open_at("worker", "sweep", 0);
+        let shard = worker.open_at("shard 0..1", "shard", 5);
+        worker.counter(shard, "probes", 41);
+        worker.counter(shard, "probes", 1);
+        worker.close_at(shard, 45);
+        let wait = worker.open_at("queue-wait", "queue-wait", 45);
+        worker.close_at(wait, 70);
+        worker.close_at(root, 70);
+
+        let mut trace = SpanTrace::new();
+        trace.name_track(0, "main");
+        trace.name_track(1, "worker-1");
+        trace.absorb(main);
+        trace.absorb(worker);
+        trace
+    }
+
+    #[test]
+    fn spans_close_lifo_and_record_depth() {
+        let trace = sample_trace();
+        assert_eq!(trace.len(), 5);
+        let merge = &trace.spans[1];
+        assert_eq!((merge.name.as_str(), merge.depth), ("merge", 1));
+        assert_eq!((merge.start_us, merge.dur_us), (80, 10));
+        let shard = trace.with_cat("shard").next().unwrap();
+        assert_eq!(shard.counter("probes"), Some(42), "counters accumulate");
+        assert_eq!(trace.counter_sum("probes"), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed out of order")]
+    fn cross_closing_panics() {
+        let mut buf = SpanBuffer::new(0, SpanClock::new());
+        let a = buf.open("a", "t");
+        let _b = buf.open("b", "t");
+        buf.close(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "open spans")]
+    fn absorbing_an_unbalanced_buffer_panics() {
+        let mut buf = SpanBuffer::new(0, SpanClock::new());
+        buf.open("a", "t");
+        SpanTrace::new().absorb(buf);
+    }
+
+    #[test]
+    fn clock_timestamps_are_monotone() {
+        let clock = SpanClock::new();
+        let mut prev = 0;
+        for _ in 0..1000 {
+            let now = clock.now_us();
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn perfetto_export_passes_the_schema_check() {
+        let trace = sample_trace();
+        let json = trace.perfetto_json("seta test");
+        assert_eq!(validate_perfetto(&json), Ok(5));
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        // 1 process-name + 2 thread-name metadata records precede spans.
+        assert_eq!(events[0]["ph"].as_str(), Some("M"));
+        let sweep = events
+            .iter()
+            .find(|e| e["name"].as_str() == Some("sweep") && e["ph"].as_str() == Some("X"))
+            .unwrap();
+        assert_eq!(sweep["dur"].as_u64(), Some(100));
+        assert_eq!(sweep["args"]["shards"].as_u64(), Some(2));
+        assert_eq!(sweep["tid"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate_perfetto("not json").is_err());
+        assert!(validate_perfetto("{}").unwrap_err().contains("traceEvents"));
+        let bad = r#"{"traceEvents":[{"ph":"X","name":"x","ts":1}]}"#;
+        assert!(validate_perfetto(bad).unwrap_err().contains("dur"));
+    }
+
+    #[test]
+    fn collapsed_stacks_charge_self_time() {
+        let trace = sample_trace();
+        let folded = trace.collapsed();
+        // sweep: 100 total - 10 merge child = 90 self.
+        assert!(folded.contains("main;sweep 90\n"), "{folded}");
+        assert!(folded.contains("main;sweep;merge 10\n"), "{folded}");
+        // worker root: 70 total - 40 shard - 25 wait = 5 self.
+        assert!(folded.contains("worker-1;worker 5\n"), "{folded}");
+        assert!(
+            folded.contains("worker-1;worker;shard 0..1 40\n"),
+            "{folded}"
+        );
+        assert!(
+            folded.contains("worker-1;worker;queue-wait 25\n"),
+            "{folded}"
+        );
+    }
+
+    #[test]
+    fn collapsed_aggregates_identical_stacks() {
+        let clock = SpanClock::new();
+        let mut buf = SpanBuffer::new(0, clock);
+        for (start, end) in [(0u64, 10u64), (20, 35)] {
+            let s = buf.open_at("shard", "shard", start);
+            buf.close_at(s, end);
+        }
+        let mut trace = SpanTrace::new();
+        trace.absorb(buf);
+        assert_eq!(trace.collapsed(), "track-0;shard 25\n");
+    }
+
+    #[test]
+    fn trace_round_trips_through_serde() {
+        let trace = sample_trace();
+        let text = serde_json::to_string(&trace).unwrap();
+        let back: SpanTrace = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, trace);
+    }
+}

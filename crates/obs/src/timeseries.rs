@@ -1,0 +1,432 @@
+//! Fixed-window time series of cache behavior.
+//!
+//! The paper's headline numbers — miss ratio, probes per access, MRU
+//! position-0 hit fraction — are end-of-run aggregates, but the ATUM-like
+//! traces are explicitly *phased*: cold flushes every segment, with
+//! locality that warms up inside each segment. A [`WindowSeries`] slices
+//! the run into fixed windows of `window_refs` references (default 64k)
+//! and records those same quantities per window and per strategy, so the
+//! time-varying behavior an aggregate hides becomes visible.
+//!
+//! Windows never span a segment boundary: the series closes the current
+//! window (however partial) whenever the simulator reports a flush, so
+//! every row belongs to exactly one segment and per-segment tables can be
+//! built by grouping on the `segment` field.
+//!
+//! Conservation is exact by construction — every read-in, hit, write-back
+//! and probe is added to exactly one window — so summing any column over
+//! all rows reproduces the aggregate `CacheStats`/probe totals of the
+//! run. The span property tests in the workspace root assert this.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+
+/// Default window width, in references.
+pub const DEFAULT_WINDOW_REFS: u64 = 64 * 1024;
+
+/// Per-strategy counters within one window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StrategyWindow {
+    /// Strategy name (`traditional`, `mru`, ...).
+    pub strategy: String,
+    /// Probes spent by this strategy inside the window (lookups and
+    /// write-backs combined — same accounting as the aggregate report).
+    pub probes: u64,
+}
+
+/// One closed window: `refs_start..refs_end` of the run, entirely inside
+/// `segment`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowRecord {
+    /// Zero-based window ordinal over the whole run.
+    pub window: u64,
+    /// Zero-based segment (flush-delimited phase) the window lies in.
+    pub segment: u64,
+    /// First reference ordinal in the window (inclusive).
+    pub refs_start: u64,
+    /// One past the last reference ordinal in the window.
+    pub refs_end: u64,
+    /// L2 read-ins (L1 misses reaching the L2) in the window.
+    pub read_ins: u64,
+    /// Read-ins that hit in the L2.
+    pub read_in_hits: u64,
+    /// Read-in hits found at MRU stack distance 0.
+    pub mru_pos0_hits: u64,
+    /// Write-backs issued to the L2 in the window.
+    pub write_backs: u64,
+    /// Per-strategy probe counts.
+    pub strategies: Vec<StrategyWindow>,
+}
+
+impl WindowRecord {
+    /// References covered by the window.
+    pub fn refs(&self) -> u64 {
+        self.refs_end - self.refs_start
+    }
+
+    /// L2 miss ratio within the window (`None` if it saw no read-ins).
+    pub fn miss_ratio(&self) -> Option<f64> {
+        if self.read_ins == 0 {
+            None
+        } else {
+            Some((self.read_ins - self.read_in_hits) as f64 / self.read_ins as f64)
+        }
+    }
+
+    /// Fraction of read-in hits found at MRU position 0 (`None` if the
+    /// window had no hits).
+    pub fn pos0_fraction(&self) -> Option<f64> {
+        if self.read_in_hits == 0 {
+            None
+        } else {
+            Some(self.mru_pos0_hits as f64 / self.read_in_hits as f64)
+        }
+    }
+
+    /// Probes per L2 access (read-ins + write-backs) for strategy `idx`
+    /// (`None` if the window had no L2 accesses).
+    pub fn probes_per_access(&self, idx: usize) -> Option<f64> {
+        let accesses = self.read_ins + self.write_backs;
+        if accesses == 0 {
+            None
+        } else {
+            Some(self.strategies[idx].probes as f64 / accesses as f64)
+        }
+    }
+}
+
+/// Accumulates per-window counters and closes windows on reference-count
+/// and segment boundaries.
+///
+/// Feed it from the simulation loop:
+/// [`on_ref`](WindowSeries::on_ref) once per processor reference,
+/// [`on_read_in`](WindowSeries::on_read_in) /
+/// [`on_write_back`](WindowSeries::on_write_back) /
+/// [`add_probes`](WindowSeries::add_probes) as the L2 sees traffic,
+/// [`on_segment_boundary`](WindowSeries::on_segment_boundary) at each
+/// flush, and [`finish`](WindowSeries::finish) at end of run.
+#[derive(Debug, Clone)]
+pub struct WindowSeries {
+    strategy_names: Vec<String>,
+    window_refs: u64,
+    refs: u64,
+    segment: u64,
+    closed: Vec<WindowRecord>,
+    current: WindowRecord,
+}
+
+impl WindowSeries {
+    /// A series over the given strategies, closing a window every
+    /// `window_refs` references (and at every segment boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_refs` is zero.
+    pub fn new(strategy_names: &[String], window_refs: u64) -> Self {
+        assert!(window_refs > 0, "window width must be positive");
+        let names = strategy_names.to_vec();
+        WindowSeries {
+            current: blank_window(&names, 0, 0, 0),
+            strategy_names: names,
+            window_refs,
+            refs: 0,
+            segment: 0,
+            closed: Vec::new(),
+        }
+    }
+
+    /// Window width in references.
+    pub fn window_refs(&self) -> u64 {
+        self.window_refs
+    }
+
+    /// Counts one processor reference; closes the current window when it
+    /// reaches the window width.
+    pub fn on_ref(&mut self) {
+        self.refs += 1;
+        if self.refs - self.current.refs_start >= self.window_refs {
+            self.close_current();
+        }
+    }
+
+    /// Records an L2 read-in. `hit` is whether it hit; `pos0` whether the
+    /// hit was at MRU stack distance 0.
+    pub fn on_read_in(&mut self, hit: bool, pos0: bool) {
+        self.current.read_ins += 1;
+        self.current.read_in_hits += hit as u64;
+        self.current.mru_pos0_hits += (hit && pos0) as u64;
+    }
+
+    /// Records an L2 write-back.
+    pub fn on_write_back(&mut self) {
+        self.current.write_backs += 1;
+    }
+
+    /// Adds probes spent by strategy `idx` (index into the constructor's
+    /// name list).
+    pub fn add_probes(&mut self, idx: usize, probes: u64) {
+        self.current.strategies[idx].probes += probes;
+    }
+
+    /// Closes the current window (if non-empty) and starts the next
+    /// segment, so windows never span a flush.
+    pub fn on_segment_boundary(&mut self) {
+        self.close_current();
+        self.segment += 1;
+        self.current.segment = self.segment;
+    }
+
+    /// Miss ratio of the most recently closed window, for heartbeats.
+    pub fn last_window_miss_ratio(&self) -> Option<f64> {
+        self.closed.last().and_then(WindowRecord::miss_ratio)
+    }
+
+    /// Closes the trailing partial window and returns all rows.
+    pub fn finish(mut self) -> Vec<WindowRecord> {
+        self.close_current();
+        self.closed
+    }
+
+    /// Rows closed so far.
+    pub fn closed(&self) -> &[WindowRecord] {
+        &self.closed
+    }
+
+    fn close_current(&mut self) {
+        self.current.refs_end = self.refs;
+        let empty = self.current.refs() == 0
+            && self.current.read_ins == 0
+            && self.current.write_backs == 0
+            && self.current.strategies.iter().all(|s| s.probes == 0);
+        let next_window = self.current.window + if empty { 0 } else { 1 };
+        let next = blank_window(&self.strategy_names, next_window, self.segment, self.refs);
+        let finished = std::mem::replace(&mut self.current, next);
+        if !empty {
+            self.closed.push(finished);
+        }
+    }
+}
+
+fn blank_window(names: &[String], window: u64, segment: u64, refs_start: u64) -> WindowRecord {
+    WindowRecord {
+        window,
+        segment,
+        refs_start,
+        refs_end: refs_start,
+        read_ins: 0,
+        read_in_hits: 0,
+        mru_pos0_hits: 0,
+        write_backs: 0,
+        strategies: names
+            .iter()
+            .map(|n| StrategyWindow {
+                strategy: n.clone(),
+                probes: 0,
+            })
+            .collect(),
+    }
+}
+
+/// Writes window rows as JSON lines (one [`WindowRecord`] object per
+/// line), the same artifact style as the metrics snapshots.
+pub fn write_jsonl<W: Write>(rows: &[WindowRecord], w: &mut W) -> io::Result<()> {
+    for row in rows {
+        let line = serde_json::to_string(row).expect("window rows serialize");
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Renders a per-segment phase table: one row per segment aggregating its
+/// windows — miss ratio, MRU position-0 hit fraction, probes/access for
+/// each strategy, and the within-segment drift of the miss ratio (first
+/// window minus last window, positive when the segment warms up).
+pub fn phase_table(rows: &[WindowRecord], strategy_names: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("segment  windows     refs  miss-ratio  pos0-frac  warmup");
+    for name in strategy_names {
+        out.push_str(&format!("  {:>12}", truncate(name, 12)));
+    }
+    out.push('\n');
+    let mut segments: Vec<u64> = rows.iter().map(|r| r.segment).collect();
+    segments.sort_unstable();
+    segments.dedup();
+    for seg in segments {
+        let seg_rows: Vec<&WindowRecord> = rows.iter().filter(|r| r.segment == seg).collect();
+        let refs: u64 = seg_rows.iter().map(|r| r.refs()).sum();
+        let read_ins: u64 = seg_rows.iter().map(|r| r.read_ins).sum();
+        let hits: u64 = seg_rows.iter().map(|r| r.read_in_hits).sum();
+        let pos0: u64 = seg_rows.iter().map(|r| r.mru_pos0_hits).sum();
+        let write_backs: u64 = seg_rows.iter().map(|r| r.write_backs).sum();
+        let miss = ratio(read_ins - hits, read_ins);
+        let pos0_frac = ratio(pos0, hits);
+        let warmup = match (
+            seg_rows.first().and_then(|r| r.miss_ratio()),
+            seg_rows.last().and_then(|r| r.miss_ratio()),
+        ) {
+            (Some(first), Some(last)) => format!("{:+.3}", first - last),
+            _ => "-".to_owned(),
+        };
+        out.push_str(&format!(
+            "{seg:>7}  {:>7}  {refs:>7}  {miss:>10}  {pos0_frac:>9}  {warmup:>6}",
+            seg_rows.len()
+        ));
+        for idx in 0..strategy_names.len() {
+            let probes: u64 = seg_rows.iter().map(|r| r.strategies[idx].probes).sum();
+            let accesses = read_ins + write_backs;
+            let ppa = if accesses == 0 {
+                "-".to_owned()
+            } else {
+                format!("{:.3}", probes as f64 / accesses as f64)
+            };
+            out.push_str(&format!("  {ppa:>12}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn ratio(num: u64, den: u64) -> String {
+    if den == 0 {
+        "-".to_owned()
+    } else {
+        format!("{:.4}", num as f64 / den as f64)
+    }
+}
+
+fn truncate(s: &str, max: usize) -> &str {
+    match s.char_indices().nth(max) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec!["traditional".to_owned(), "mru".to_owned()]
+    }
+
+    /// Drives a synthetic 2-segment run: every 4th ref is a read-in that
+    /// alternates hit/miss, hits always at position 0.
+    fn drive(series: &mut WindowSeries, refs: u64, offset: u64) {
+        for i in 0..refs {
+            let n = offset + i;
+            if n % 4 == 0 {
+                let hit = n % 8 == 0;
+                series.on_read_in(hit, hit);
+                series.add_probes(0, 3);
+                series.add_probes(1, 1);
+            }
+            series.on_ref();
+        }
+    }
+
+    #[test]
+    fn windows_close_on_width_and_conserve_counts() {
+        let mut s = WindowSeries::new(&names(), 10);
+        drive(&mut s, 25, 0);
+        let rows = s.finish();
+        assert_eq!(rows.len(), 3, "25 refs / width 10 = 2 full + 1 partial");
+        assert_eq!(
+            rows.iter().map(|r| r.refs()).collect::<Vec<_>>(),
+            vec![10, 10, 5]
+        );
+        // Conservation: window sums equal the driven totals exactly.
+        let read_ins: u64 = rows.iter().map(|r| r.read_ins).sum();
+        assert_eq!(read_ins, 7, "refs 0,4,8,12,16,20,24");
+        let hits: u64 = rows.iter().map(|r| r.read_in_hits).sum();
+        assert_eq!(hits, 4, "refs 0,8,16,24");
+        let trad: u64 = rows.iter().map(|r| r.strategies[0].probes).sum();
+        assert_eq!(trad, 21);
+        let mru: u64 = rows.iter().map(|r| r.strategies[1].probes).sum();
+        assert_eq!(mru, 7);
+    }
+
+    #[test]
+    fn windows_never_span_a_segment_boundary() {
+        let mut s = WindowSeries::new(&names(), 10);
+        drive(&mut s, 7, 0);
+        s.on_segment_boundary();
+        drive(&mut s, 12, 7);
+        let rows = s.finish();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].segment, 0);
+        assert_eq!((rows[0].refs_start, rows[0].refs_end), (0, 7));
+        assert_eq!(rows[1].segment, 1);
+        assert_eq!((rows[1].refs_start, rows[1].refs_end), (7, 17));
+        assert_eq!(rows[2].segment, 1);
+        for pair in rows.windows(2) {
+            assert_eq!(pair[0].refs_end, pair[1].refs_start, "rows abut");
+            assert_eq!(pair[0].window + 1, pair[1].window);
+        }
+    }
+
+    #[test]
+    fn empty_windows_are_skipped() {
+        let mut s = WindowSeries::new(&names(), 10);
+        s.on_segment_boundary(); // nothing recorded yet
+        drive(&mut s, 5, 0);
+        let rows = s.finish();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].segment, 1);
+        assert_eq!(rows[0].window, 0, "empty window did not consume an ordinal");
+    }
+
+    #[test]
+    fn ratios_and_last_window_heartbeat() {
+        let mut s = WindowSeries::new(&names(), 10);
+        assert_eq!(s.last_window_miss_ratio(), None);
+        drive(&mut s, 10, 0);
+        // Window closed: read-ins at 0,4,8 — hits at 0,8 → miss 1/3.
+        let got = s.last_window_miss_ratio().unwrap();
+        assert!((got - 1.0 / 3.0).abs() < 1e-12);
+        let rows = s.finish();
+        assert_eq!(rows[0].pos0_fraction(), Some(1.0));
+        let ppa = rows[0].probes_per_access(0).unwrap();
+        assert!((ppa - 3.0).abs() < 1e-12);
+        let none = blank_window(&names(), 0, 0, 0);
+        assert_eq!(none.miss_ratio(), None);
+        assert_eq!(none.pos0_fraction(), None);
+        assert_eq!(none.probes_per_access(0), None);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut s = WindowSeries::new(&names(), 10);
+        drive(&mut s, 15, 0);
+        let rows = s.finish();
+        let mut buf = Vec::new();
+        write_jsonl(&rows, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let back: Vec<WindowRecord> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn phase_table_groups_by_segment() {
+        let mut s = WindowSeries::new(&names(), 10);
+        drive(&mut s, 20, 0);
+        s.on_segment_boundary();
+        drive(&mut s, 10, 20);
+        let rows = s.finish();
+        let table = phase_table(&rows, &names());
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 segments:\n{table}");
+        assert!(lines[0].contains("miss-ratio"));
+        assert!(lines[0].contains("traditional"));
+        assert!(lines[1].trim_start().starts_with('0'));
+        assert!(lines[2].trim_start().starts_with('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_width_panics() {
+        WindowSeries::new(&names(), 0);
+    }
+}

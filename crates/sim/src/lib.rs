@@ -23,6 +23,10 @@
 //!   structured, serializable results and rendering a paper-style text
 //!   table.
 //! * [`report`] — plain-text table and CSV formatting.
+//! * [`sweep_report`] — utilization analysis of a traced sweep
+//!   ([`runner::simulate_many_traced`]): per-worker busy fractions,
+//!   shard-size histograms, the critical-path shard and a load-balance
+//!   score.
 //! * [`advisor`] — the paper's §4 decision procedure as a measured
 //!   recommendation.
 //!
@@ -56,8 +60,13 @@ pub mod explain;
 pub mod metered;
 pub mod report;
 pub mod runner;
+pub mod sweep_report;
 
 pub use config::HierarchyPreset;
-pub use explain::{explain, ExplainConfig, ExplainReport};
+pub use explain::{explain, explain_traced, ExplainConfig, ExplainReport};
 pub use metered::{simulate_instrumented, MeterConfig, MeteredRun};
-pub use runner::{simulate, standard_strategies, RunOutcome, StrategyResult};
+pub use runner::{
+    simulate, simulate_many_traced, simulate_traced, standard_strategies, RunOutcome,
+    StrategyResult,
+};
+pub use sweep_report::{SweepReport, WorkerUtilization};

@@ -19,8 +19,10 @@ use seta_cache::{
 };
 use seta_core::lookup::LookupStrategy;
 use seta_obs::export::{final_snapshot_line, snapshot_line};
+use seta_obs::timeseries::{WindowRecord, WindowSeries, DEFAULT_WINDOW_REFS};
 use seta_obs::{
     labeled, CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, Progress, RunManifest,
+    SpanBuffer, SpanClock, SpanTrace,
 };
 use seta_trace::TraceEvent;
 use std::io::{self, Write};
@@ -40,6 +42,9 @@ pub struct MeterConfig {
     /// Expected processor references, for the heartbeat's percentage and
     /// ETA columns.
     pub expected_refs: Option<u64>,
+    /// References per time-series window (see
+    /// [`WindowSeries`]); 0 disables the windowed series.
+    pub window_refs: u64,
 }
 
 impl Default for MeterConfig {
@@ -49,6 +54,7 @@ impl Default for MeterConfig {
             progress: false,
             progress_interval_secs: None,
             expected_refs: None,
+            window_refs: DEFAULT_WINDOW_REFS,
         }
     }
 }
@@ -64,6 +70,13 @@ pub struct MeteredRun {
     pub registry: MetricsRegistry,
     /// JSONL lines written (periodic + final).
     pub snapshots: u64,
+    /// Fixed-window time series (empty when
+    /// [`window_refs`](MeterConfig::window_refs) is 0). Column sums over
+    /// the rows equal the aggregate outcome exactly.
+    pub windows: Vec<WindowRecord>,
+    /// Span trace of the run: one span per trace segment, mirroring the
+    /// manifest's phases, under a `simulate` root.
+    pub spans: SpanTrace,
 }
 
 /// Registry handles for one strategy's series.
@@ -107,10 +120,16 @@ struct Meter<'a> {
     /// Per-strategy read-in probe totals before the current request, for
     /// per-request deltas into the probe-count histograms.
     prev_probes: Vec<u64>,
+    /// Windowed time series (None when disabled).
+    windows: Option<WindowSeries>,
+    /// Per-strategy all-books probe totals (hits + misses + write-backs)
+    /// before the current request, for per-request deltas into the
+    /// current window.
+    prev_window_probes: Vec<u64>,
 }
 
 impl<'a> Meter<'a> {
-    fn new(strategies: &'a [Box<dyn LookupStrategy>], assoc: u32) -> Self {
+    fn new(strategies: &'a [Box<dyn LookupStrategy>], assoc: u32, window_refs: u64) -> Self {
         let mut registry = MetricsRegistry::new();
         let global = GlobalHandles {
             refs: registry.counter("refs_total"),
@@ -152,13 +171,22 @@ impl<'a> Meter<'a> {
                 }
             })
             .collect();
+        let names: Vec<String> = strategies.iter().map(|s| s.name()).collect();
         Meter {
             scorer: Scorer::new(strategies, assoc),
             registry,
             global,
             per_strategy,
             prev_probes: vec![0; strategies.len()],
+            windows: (window_refs > 0).then(|| WindowSeries::new(&names, window_refs)),
+            prev_window_probes: vec![0; strategies.len()],
         }
+    }
+
+    /// Total probes strategy `i` has charged on the optimized books.
+    fn probe_total(&self, i: usize) -> u64 {
+        let (probes, _) = &self.scorer.results[i];
+        probes.hits.probes + probes.misses.probes + probes.write_backs.probes
     }
 
     /// Records one finished segment's wall time.
@@ -219,12 +247,35 @@ impl L2Observer for Meter<'_> {
                 *prev = probes.hits.probes + probes.misses.probes;
             }
         }
+        if self.windows.is_some() {
+            for i in 0..self.prev_window_probes.len() {
+                self.prev_window_probes[i] = self.probe_total(i);
+            }
+        }
         self.scorer.on_l2_request(req);
         if req.kind == L2RequestKind::ReadIn {
             for (i, h) in self.per_strategy.iter().enumerate() {
                 let (probes, _) = &self.scorer.results[i];
                 let delta = probes.hits.probes + probes.misses.probes - self.prev_probes[i];
                 self.registry.observe(h.probe_hist, delta);
+            }
+        }
+        if self.windows.is_some() {
+            for i in 0..self.prev_window_probes.len() {
+                let delta = self.probe_total(i) - self.prev_window_probes[i];
+                if delta > 0 {
+                    if let Some(w) = self.windows.as_mut() {
+                        w.add_probes(i, delta);
+                    }
+                }
+            }
+        }
+        if let Some(windows) = self.windows.as_mut() {
+            match req.kind {
+                L2RequestKind::ReadIn => {
+                    windows.on_read_in(req.hit, req.hit && req.mru_distance == Some(0));
+                }
+                L2RequestKind::WriteBack => windows.on_write_back(),
             }
         }
     }
@@ -281,8 +332,11 @@ where
     W: Write,
 {
     let mut hierarchy = TwoLevel::new(l1, l2).expect("L1 blocks must fit in L2 blocks");
-    let mut meter = Meter::new(strategies, l2.associativity());
+    let mut meter = Meter::new(strategies, l2.associativity(), cfg.window_refs);
     let mut sink = RefSink::default();
+    let mut span_buf = SpanBuffer::new(0, SpanClock::new());
+    let run_span = span_buf.open("simulate", "run");
+    let mut seg_span = span_buf.open("segment-0", "segment");
 
     let mut manifest = RunManifest::new(env!("CARGO_PKG_VERSION"));
     manifest.label("l1", l1.label());
@@ -292,9 +346,15 @@ where
     let names: Vec<String> = strategies.iter().map(|s| s.name()).collect();
     manifest.label("strategies", names.join(","));
 
-    let mut progress = cfg.progress.then(|| match cfg.progress_interval_secs {
-        Some(secs) => Progress::with_interval_secs("simulate", cfg.expected_refs, secs),
-        None => Progress::new("simulate", cfg.expected_refs),
+    let mut progress = cfg.progress.then(|| {
+        let mut p = match cfg.progress_interval_secs {
+            Some(secs) => Progress::with_interval_secs("simulate", cfg.expected_refs, secs),
+            None => Progress::new("simulate", cfg.expected_refs),
+        };
+        // The instrumented loop is the sequential path; heartbeat lines
+        // carry the worker count so sweep and single-run output read alike.
+        p.set_active_workers(1);
+        p
     });
     let started = Instant::now();
     let mut segment = 0u64;
@@ -320,9 +380,26 @@ where
                 .expect("phase just ended")
                 .wall_micros;
             meter.observe_segment(span);
+            if let Some(w) = meter.windows.as_mut() {
+                w.on_segment_boundary();
+                if let Some(p) = progress.as_mut() {
+                    p.set_window_miss_ratio(w.last_window_miss_ratio());
+                }
+            }
+            span_buf.close(seg_span);
             segment += 1;
             segment_guard = manifest.begin_phase(&format!("segment-{segment}"));
+            seg_span = span_buf.open(format!("segment-{segment}"), "segment");
             continue;
+        }
+        if let Some(w) = meter.windows.as_mut() {
+            let closed = w.closed().len();
+            w.on_ref();
+            if w.closed().len() > closed {
+                if let Some(p) = progress.as_mut() {
+                    p.set_window_miss_ratio(w.last_window_miss_ratio());
+                }
+            }
         }
         if let Some(p) = progress.as_mut() {
             p.tick(1);
@@ -350,6 +427,12 @@ where
         .expect("phase just ended")
         .wall_micros;
     meter.observe_segment(span);
+    span_buf.close(seg_span);
+    span_buf.counter(run_span, "refs", hierarchy.stats().processor_refs);
+    span_buf.close(run_span);
+    let mut spans = SpanTrace::new();
+    spans.name_track(0, "main");
+    spans.absorb(span_buf);
     manifest.set_trace(source, events_seen, seed);
     if let Some(p) = progress.as_mut() {
         p.finish();
@@ -361,8 +444,12 @@ where
         started.elapsed().as_secs_f64(),
     );
     let Meter {
-        scorer, registry, ..
+        scorer,
+        registry,
+        windows,
+        ..
     } = meter;
+    let windows = windows.map(WindowSeries::finish).unwrap_or_default();
     let refs = hierarchy.stats().processor_refs;
     if let Some(out) = metrics_out {
         writeln!(
@@ -379,6 +466,8 @@ where
         manifest,
         registry,
         snapshots,
+        windows,
+        spans,
     })
 }
 
@@ -540,6 +629,109 @@ mod tests {
             .histogram_by_name("segment_wall_micros")
             .unwrap();
         assert_eq!(seg_hist.count as usize, run.manifest.phases.len());
+    }
+
+    #[test]
+    fn window_rows_sum_exactly_to_aggregate_stats() {
+        let (l1, l2) = geometries();
+        let strategies = standard_strategies(4, 16);
+        let run = simulate_instrumented(
+            l1,
+            l2,
+            small_trace(9_000, 23),
+            &strategies,
+            "synthetic:test",
+            23,
+            &MeterConfig {
+                window_refs: 1_000,
+                ..MeterConfig::default()
+            },
+            None::<&mut Vec<u8>>,
+        )
+        .unwrap();
+        assert!(run.windows.len() >= 10, "got {} windows", run.windows.len());
+        let stats = &run.outcome.hierarchy;
+        let sum = |f: fn(&seta_obs::timeseries::WindowRecord) -> u64| -> u64 {
+            run.windows.iter().map(f).sum()
+        };
+        assert_eq!(sum(|w| w.refs_end - w.refs_start), stats.processor_refs);
+        assert_eq!(sum(|w| w.read_ins), stats.read_ins);
+        assert_eq!(sum(|w| w.read_in_hits), stats.read_in_hits);
+        assert_eq!(sum(|w| w.write_backs), stats.write_backs);
+        assert_eq!(sum(|w| w.mru_pos0_hits), run.outcome.mru_hist.count(0));
+        for (i, s) in run.outcome.strategies.iter().enumerate() {
+            let probes: u64 = run.windows.iter().map(|w| w.strategies[i].probes).sum();
+            let expected =
+                s.probes.hits.probes + s.probes.misses.probes + s.probes.write_backs.probes;
+            assert_eq!(probes, expected, "{}", s.name);
+            assert_eq!(run.windows[0].strategies[i].strategy, s.name);
+        }
+        // Windows never span a segment boundary and abut exactly.
+        for pair in run.windows.windows(2) {
+            assert_eq!(pair[0].refs_end, pair[1].refs_start);
+            assert!(pair[0].segment <= pair[1].segment);
+        }
+        let segments: std::collections::BTreeSet<u64> =
+            run.windows.iter().map(|w| w.segment).collect();
+        assert_eq!(segments.len(), 2, "one group of windows per trace segment");
+    }
+
+    #[test]
+    fn disabling_windows_yields_no_rows() {
+        let (l1, l2) = geometries();
+        let strategies = standard_strategies(4, 16);
+        let run = simulate_instrumented(
+            l1,
+            l2,
+            small_trace(2_000, 1),
+            &strategies,
+            "synthetic:test",
+            1,
+            &MeterConfig {
+                window_refs: 0,
+                ..MeterConfig::default()
+            },
+            None::<&mut Vec<u8>>,
+        )
+        .unwrap();
+        assert!(run.windows.is_empty());
+        // Spans still record the segment phases.
+        assert_eq!(run.spans.with_cat("run").count(), 1);
+        assert!(run.spans.with_cat("segment").count() >= 2);
+    }
+
+    #[test]
+    fn segment_spans_mirror_manifest_phases() {
+        let (l1, l2) = geometries();
+        let strategies = standard_strategies(4, 16);
+        let run = simulate_instrumented(
+            l1,
+            l2,
+            small_trace(3_000, 4),
+            &strategies,
+            "synthetic:test",
+            4,
+            &MeterConfig::default(),
+            None::<&mut Vec<u8>>,
+        )
+        .unwrap();
+        let span_names: Vec<&str> = run
+            .spans
+            .with_cat("segment")
+            .map(|s| s.name.as_str())
+            .collect();
+        let phase_names: Vec<&str> = run
+            .manifest
+            .phases
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        assert_eq!(span_names, phase_names);
+        let root = run.spans.with_cat("run").next().unwrap();
+        assert_eq!(
+            root.counter("refs"),
+            Some(run.outcome.hierarchy.processor_refs)
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use seta_core::lookup::{
     Lookup, LookupStrategy, Mru, Naive, PartialCompare, Traditional, TransformKind,
 };
 use seta_core::{model, MruDistanceHistogram, ProbeStats, SetView};
+use seta_obs::{SpanBuffer, SpanClock, SpanId, SpanTrace};
 use seta_trace::TraceEvent;
 
 /// Probe results for one strategy over one run.
@@ -196,6 +197,85 @@ where
     assemble_outcome(&hierarchy, scorer, strategies)
 }
 
+/// Totals already attributed to earlier segments of a traced run, so each
+/// segment span carries only its own deltas and the per-segment counters
+/// sum exactly to the run's aggregate statistics.
+#[derive(Debug, Clone, Copy, Default)]
+struct SegmentMark {
+    refs: u64,
+    read_ins: u64,
+    read_in_hits: u64,
+    write_backs: u64,
+    probes: u64,
+}
+
+impl SegmentMark {
+    /// Closes `span` with this segment's counter deltas and advances the
+    /// mark to the current totals.
+    fn close_segment(
+        &mut self,
+        buf: &mut SpanBuffer,
+        span: SpanId,
+        stats: &TwoLevelStats,
+        results: &[(ProbeStats, ProbeStats)],
+    ) {
+        let probes = shard_probe_total(results);
+        buf.counter(span, "refs", stats.processor_refs - self.refs);
+        buf.counter(span, "read_ins", stats.read_ins - self.read_ins);
+        buf.counter(span, "read_in_hits", stats.read_in_hits - self.read_in_hits);
+        buf.counter(span, "write_backs", stats.write_backs - self.write_backs);
+        buf.counter(span, "probes", probes - self.probes);
+        buf.close(span);
+        *self = SegmentMark {
+            refs: stats.processor_refs,
+            read_ins: stats.read_ins,
+            read_in_hits: stats.read_in_hits,
+            write_backs: stats.write_backs,
+            probes,
+        };
+    }
+}
+
+/// [`simulate`] with span tracing: the identical event loop (the same
+/// [`TwoLevel::process`] calls the plain path makes), plus a [`SpanTrace`]
+/// with one span per flush-delimited trace segment. Each segment span
+/// carries that segment's reference, read-in, write-back and probe deltas,
+/// so counter sums over the trace equal the outcome's aggregate statistics
+/// exactly. The per-access hot path pays nothing — the clock is read twice
+/// per *segment*, not per reference.
+pub fn simulate_traced<I>(
+    l1: CacheConfig,
+    l2: CacheConfig,
+    events: I,
+    strategies: &[Box<dyn LookupStrategy>],
+) -> (RunOutcome, SpanTrace)
+where
+    I: IntoIterator<Item = TraceEvent>,
+{
+    let mut hierarchy = TwoLevel::new(l1, l2).expect("L1 blocks must fit in L2 blocks");
+    let mut scorer = Scorer::new(strategies, l2.associativity());
+    let mut buf = SpanBuffer::new(0, SpanClock::new());
+    let root = buf.open("simulate", "run");
+    let mut segment = 0u64;
+    let mut seg_span = buf.open("segment-0", "segment");
+    let mut mark = SegmentMark::default();
+    for event in events {
+        let is_flush = matches!(event, TraceEvent::Flush);
+        hierarchy.process(&event, &mut scorer);
+        if is_flush {
+            mark.close_segment(&mut buf, seg_span, hierarchy.stats(), &scorer.results);
+            segment += 1;
+            seg_span = buf.open(format!("segment-{segment}"), "segment");
+        }
+    }
+    mark.close_segment(&mut buf, seg_span, hierarchy.stats(), &scorer.results);
+    buf.close(root);
+    let mut trace = SpanTrace::new();
+    trace.name_track(0, "main");
+    trace.absorb(buf);
+    (assemble_outcome(&hierarchy, scorer, strategies), trace)
+}
+
 /// Builds the [`RunOutcome`] from a finished hierarchy and scorer (shared
 /// by the plain and instrumented simulation paths).
 pub(crate) fn assemble_outcome(
@@ -280,7 +360,7 @@ impl RunSpec {
 }
 
 /// One work item of a sharded sweep: a contiguous segment range of one spec.
-struct Shard {
+pub(crate) struct Shard {
     spec: usize,
     seg_start: usize,
     seg_end: usize,
@@ -288,7 +368,7 @@ struct Shard {
 
 /// The mergeable counters one shard produces. Everything in a
 /// [`RunOutcome`] except the labels is a sum (or a ratio of sums) of these.
-struct ShardOutcome {
+pub(crate) struct ShardOutcome {
     hierarchy: TwoLevelStats,
     l1_stats: CacheStats,
     l2_stats: CacheStats,
@@ -386,6 +466,170 @@ fn worker_threads(queue_len: usize) -> usize {
     requested.min(queue_len.max(1))
 }
 
+/// Hooks the sharded sweep loop calls around each unit of work.
+///
+/// The default [`NoTracer`] implements every method as an empty body on a
+/// unit worker type, so the un-traced [`simulate_many`] monomorphizes to
+/// exactly the code it had before tracing existed — the same zero-cost
+/// pattern as `ProbeObserver` and the unit `MetricsSink`. The traced path
+/// substitutes [`SweepSpanTracer`], which records per-shard, queue-wait
+/// and merge spans into per-worker [`SpanBuffer`]s merged at join.
+pub(crate) trait SweepTracer: Sync {
+    /// Per-worker recorder state, created and consumed on the worker's
+    /// own thread.
+    type Worker;
+    /// Called on the worker's thread before it starts draining the queue.
+    /// Track 0 is the coordinating thread; workers are 1-based.
+    fn worker_start(&self, track: u32) -> Self::Worker;
+    /// Called when the worker dequeues a shard, before simulating it.
+    fn shard_begin(&self, worker: &mut Self::Worker, shard: &Shard);
+    /// Called when the shard's simulation finishes, with its counters.
+    fn shard_end(&self, worker: &mut Self::Worker, out: &ShardOutcome);
+    /// Called when the queue is drained, still on the worker's thread.
+    fn worker_finish(&self, worker: Self::Worker);
+    /// Brackets the sequential fold of shard outcomes on the main thread.
+    fn merge_begin(&self);
+    /// See [`merge_begin`](SweepTracer::merge_begin).
+    fn merge_end(&self);
+}
+
+/// The zero-cost tracer: every hook is empty and the worker state is `()`.
+pub(crate) struct NoTracer;
+
+impl SweepTracer for NoTracer {
+    type Worker = ();
+    fn worker_start(&self, _track: u32) {}
+    fn shard_begin(&self, _worker: &mut (), _shard: &Shard) {}
+    fn shard_end(&self, _worker: &mut (), _out: &ShardOutcome) {}
+    fn worker_finish(&self, _worker: ()) {}
+    fn merge_begin(&self) {}
+    fn merge_end(&self) {}
+}
+
+/// Span state the coordinating thread owns: its own buffer (track 0,
+/// holding the sweep root and merge spans) and the merged trace.
+struct SweepTracerState {
+    main: SpanBuffer,
+    sweep: SpanId,
+    merge: Option<SpanId>,
+    trace: SpanTrace,
+}
+
+/// The recording tracer behind [`simulate_many_traced`].
+///
+/// Workers record into private buffers (no locking on the hot path); the
+/// shared mutex is taken once per worker at join to merge, and briefly on
+/// the main thread around the fold.
+pub(crate) struct SweepSpanTracer {
+    clock: SpanClock,
+    state: std::sync::Mutex<SweepTracerState>,
+}
+
+/// One worker's open-span bookkeeping: the worker root, the currently
+/// open queue-wait span, and the in-flight shard span.
+pub(crate) struct SpanWorker {
+    buf: SpanBuffer,
+    root: SpanId,
+    wait: SpanId,
+    current: Option<SpanId>,
+}
+
+impl SweepSpanTracer {
+    fn new() -> Self {
+        let clock = SpanClock::new();
+        let mut main = SpanBuffer::new(0, clock.clone());
+        let sweep = main.open("sweep", "sweep");
+        let mut trace = SpanTrace::new();
+        trace.name_track(0, "main");
+        SweepSpanTracer {
+            clock,
+            state: std::sync::Mutex::new(SweepTracerState {
+                main,
+                sweep,
+                merge: None,
+                trace,
+            }),
+        }
+    }
+
+    /// Closes the sweep root and returns the merged trace.
+    fn finish(self, shards: usize, workers: usize) -> SpanTrace {
+        let mut st = self.state.into_inner().expect("tracer state intact");
+        st.main.counter(st.sweep, "shards", shards as u64);
+        st.main.counter(st.sweep, "workers", workers as u64);
+        st.main.close(st.sweep);
+        st.trace.absorb(st.main);
+        st.trace
+    }
+}
+
+impl SweepTracer for SweepSpanTracer {
+    type Worker = SpanWorker;
+
+    fn worker_start(&self, track: u32) -> SpanWorker {
+        let mut buf = SpanBuffer::new(track, self.clock.clone());
+        let root = buf.open(format!("worker-{track}"), "worker");
+        let wait = buf.open("queue-wait", "queue-wait");
+        SpanWorker {
+            buf,
+            root,
+            wait,
+            current: None,
+        }
+    }
+
+    fn shard_begin(&self, w: &mut SpanWorker, shard: &Shard) {
+        w.buf.close(w.wait);
+        let name = format!(
+            "spec{} seg{}..{}",
+            shard.spec, shard.seg_start, shard.seg_end
+        );
+        w.current = Some(w.buf.open(name, "shard"));
+    }
+
+    fn shard_end(&self, w: &mut SpanWorker, out: &ShardOutcome) {
+        let id = w.current.take().expect("shard_begin opened the span");
+        w.buf.counter(id, "refs", out.hierarchy.processor_refs);
+        w.buf.counter(id, "read_ins", out.hierarchy.read_ins);
+        w.buf
+            .counter(id, "read_in_hits", out.hierarchy.read_in_hits);
+        w.buf.counter(id, "write_backs", out.hierarchy.write_backs);
+        w.buf.counter(id, "probes", shard_probe_total(&out.results));
+        w.buf.close(id);
+        w.wait = w.buf.open("queue-wait", "queue-wait");
+    }
+
+    fn worker_finish(&self, mut w: SpanWorker) {
+        w.buf.close(w.wait);
+        w.buf.close(w.root);
+        let mut st = self.state.lock().expect("tracer state intact");
+        let track = w.buf.track();
+        st.trace.name_track(track, format!("worker-{track}"));
+        st.trace.absorb(w.buf);
+    }
+
+    fn merge_begin(&self) {
+        let mut st = self.state.lock().expect("tracer state intact");
+        let id = st.main.open("merge", "merge");
+        st.merge = Some(id);
+    }
+
+    fn merge_end(&self) {
+        let mut st = self.state.lock().expect("tracer state intact");
+        let id = st.merge.take().expect("merge_begin opened the span");
+        st.main.close(id);
+    }
+}
+
+/// Total optimized probes a shard charged, summed over every strategy —
+/// the same accounting as the aggregate `ProbeStats` books.
+fn shard_probe_total(results: &[(ProbeStats, ProbeStats)]) -> u64 {
+    results
+        .iter()
+        .map(|(opt, _)| opt.hits.probes + opt.misses.probes + opt.write_backs.probes)
+        .sum()
+}
+
 /// Runs a sweep of independent simulations across a sharded work queue,
 /// returning outcomes in spec order.
 ///
@@ -402,7 +646,7 @@ fn worker_threads(queue_len: usize) -> usize {
 pub fn simulate_many(specs: &[RunSpec]) -> Vec<RunOutcome> {
     let shards = shard_plan(specs);
     let threads = worker_threads(shards.len());
-    simulate_sharded(specs, shards, threads)
+    simulate_sharded(specs, shards, threads, &NoTracer)
 }
 
 /// [`simulate_many`] with an explicit worker count, ignoring
@@ -411,31 +655,80 @@ pub fn simulate_many(specs: &[RunSpec]) -> Vec<RunOutcome> {
 pub fn simulate_many_with_threads(specs: &[RunSpec], threads: usize) -> Vec<RunOutcome> {
     let shards = shard_plan(specs);
     let threads = threads.max(1).min(shards.len().max(1));
-    simulate_sharded(specs, shards, threads)
+    simulate_sharded(specs, shards, threads, &NoTracer)
 }
 
-fn simulate_sharded(specs: &[RunSpec], shards: Vec<Shard>, threads: usize) -> Vec<RunOutcome> {
+/// [`simulate_many`] with span tracing: outcomes are bit-identical to the
+/// un-traced sweep (the tracer only brackets whole shards — the per-access
+/// hot path is untouched), plus a [`SpanTrace`] holding the sweep root,
+/// per-worker roots, per-shard spans with counter attachments, queue-wait
+/// spans, and the merge span. Feed the trace to
+/// [`SweepReport`](crate::sweep_report::SweepReport) for utilization
+/// analysis or export it as Perfetto JSON.
+pub fn simulate_many_traced(specs: &[RunSpec]) -> (Vec<RunOutcome>, SpanTrace) {
+    let shards = shard_plan(specs);
+    let threads = worker_threads(shards.len());
+    simulate_many_traced_impl(specs, shards, threads)
+}
+
+/// [`simulate_many_traced`] with an explicit worker count.
+pub fn simulate_many_traced_with_threads(
+    specs: &[RunSpec],
+    threads: usize,
+) -> (Vec<RunOutcome>, SpanTrace) {
+    let shards = shard_plan(specs);
+    let threads = threads.max(1).min(shards.len().max(1));
+    simulate_many_traced_impl(specs, shards, threads)
+}
+
+fn simulate_many_traced_impl(
+    specs: &[RunSpec],
+    shards: Vec<Shard>,
+    threads: usize,
+) -> (Vec<RunOutcome>, SpanTrace) {
+    let tracer = SweepSpanTracer::new();
+    let shard_count = shards.len();
+    let outcomes = simulate_sharded(specs, shards, threads, &tracer);
+    (outcomes, tracer.finish(shard_count, threads))
+}
+
+fn simulate_sharded<T: SweepTracer>(
+    specs: &[RunSpec],
+    shards: Vec<Shard>,
+    threads: usize,
+    tracer: &T,
+) -> Vec<RunOutcome> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     let mut slots: Vec<Option<ShardOutcome>> = Vec::new();
     if threads <= 1 {
-        slots.extend(
-            shards
-                .iter()
-                .map(|s| Some(specs[s.spec].run_segments(s.seg_start, s.seg_end))),
-        );
+        let mut worker = tracer.worker_start(1);
+        slots.extend(shards.iter().map(|s| {
+            tracer.shard_begin(&mut worker, s);
+            let out = specs[s.spec].run_segments(s.seg_start, s.seg_end);
+            tracer.shard_end(&mut worker, &out);
+            Some(out)
+        }));
+        tracer.worker_finish(worker);
     } else {
         let shared: Vec<Mutex<Option<ShardOutcome>>> =
             shards.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(shard) = shards.get(i) else { break };
-                    let out = specs[shard.spec].run_segments(shard.seg_start, shard.seg_end);
-                    *shared[i].lock().expect("no panics while holding the slot") = Some(out);
+            for track in 1..=threads as u32 {
+                let (shards, shared, next) = (&shards, &shared, &next);
+                scope.spawn(move || {
+                    let mut worker = tracer.worker_start(track);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(shard) = shards.get(i) else { break };
+                        tracer.shard_begin(&mut worker, shard);
+                        let out = specs[shard.spec].run_segments(shard.seg_start, shard.seg_end);
+                        tracer.shard_end(&mut worker, &out);
+                        *shared[i].lock().expect("no panics while holding the slot") = Some(out);
+                    }
+                    tracer.worker_finish(worker);
                 });
             }
         });
@@ -450,6 +743,7 @@ fn simulate_sharded(specs: &[RunSpec], shards: Vec<Shard>, threads: usize) -> Ve
 
     // Fold each spec's shards back together in segment order. Shards were
     // emitted in (spec, segment) order, so a single forward pass suffices.
+    tracer.merge_begin();
     let mut outcomes: Vec<Option<ShardOutcome>> = specs.iter().map(|_| None).collect();
     for (shard, slot) in shards.iter().zip(&mut slots) {
         let out = slot.take().expect("every shard produced an outcome");
@@ -458,14 +752,16 @@ fn simulate_sharded(specs: &[RunSpec], shards: Vec<Shard>, threads: usize) -> Ve
             Some(acc) => acc.merge(out),
         }
     }
-    outcomes
+    let outcomes = outcomes
         .into_iter()
         .zip(specs)
         .map(|(acc, spec)| {
             acc.expect("every spec had at least one shard")
                 .into_outcome(spec)
         })
-        .collect()
+        .collect();
+    tracer.merge_end();
+    outcomes
 }
 
 /// Results of a deep-hierarchy run: probe statistics at the last level.
@@ -814,6 +1110,62 @@ mod tests {
         for n in [1usize, 2, 64] {
             assert!(worker_threads(n) <= n.max(1));
         }
+    }
+
+    #[test]
+    fn traced_sweep_is_bit_identical_and_records_shard_spans() {
+        let spec = multiseg_spec(4, 4, 31);
+        let plain = simulate_many_with_threads(std::slice::from_ref(&spec), 2);
+        for threads in [1, 2, 8] {
+            let (traced, trace) =
+                simulate_many_traced_with_threads(std::slice::from_ref(&spec), threads);
+            assert_eq!(
+                fingerprint(&traced[0]),
+                fingerprint(&plain[0]),
+                "threads={threads}"
+            );
+            let shard_spans: Vec<_> = trace.with_cat("shard").collect();
+            assert_eq!(shard_spans.len(), 4, "one span per cold segment");
+            // Shard counter sums reproduce the aggregate statistics.
+            let refs: u64 = shard_spans.iter().filter_map(|s| s.counter("refs")).sum();
+            assert_eq!(refs, traced[0].hierarchy.processor_refs);
+            let probes: u64 = shard_spans.iter().filter_map(|s| s.counter("probes")).sum();
+            let expected: u64 = traced[0]
+                .strategies
+                .iter()
+                .map(|s| {
+                    s.probes.hits.probes + s.probes.misses.probes + s.probes.write_backs.probes
+                })
+                .sum();
+            assert_eq!(probes, expected);
+            assert_eq!(trace.with_cat("sweep").count(), 1);
+            assert_eq!(trace.with_cat("merge").count(), 1);
+            let workers = trace.with_cat("worker").count();
+            assert_eq!(workers, threads.min(4), "threads={threads}");
+            assert!(trace.with_cat("queue-wait").count() >= workers);
+        }
+    }
+
+    #[test]
+    fn simulate_traced_matches_simulate_and_segments_conserve() {
+        let l1 = CacheConfig::direct_mapped(4 * 1024, 16).unwrap();
+        let l2 = CacheConfig::new(32 * 1024, 32, 4).unwrap();
+        let strategies = standard_strategies(4, 16);
+        let plain = simulate(l1, l2, small_trace(8_000, 19), &strategies);
+        let (traced, trace) = simulate_traced(l1, l2, small_trace(8_000, 19), &strategies);
+        assert_eq!(format!("{traced:?}"), format!("{plain:?}"));
+        let segs: Vec<_> = trace.with_cat("segment").collect();
+        assert!(segs.len() >= 2, "two trace segments");
+        for (counter, expected) in [
+            ("refs", traced.hierarchy.processor_refs),
+            ("read_ins", traced.hierarchy.read_ins),
+            ("read_in_hits", traced.hierarchy.read_in_hits),
+            ("write_backs", traced.hierarchy.write_backs),
+        ] {
+            let sum: u64 = segs.iter().filter_map(|s| s.counter(counter)).sum();
+            assert_eq!(sum, expected, "{counter}");
+        }
+        assert_eq!(trace.with_cat("run").count(), 1);
     }
 
     #[test]

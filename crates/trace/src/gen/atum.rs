@@ -71,6 +71,30 @@ impl AtumLikeConfig {
     pub fn total_refs(&self) -> u64 {
         self.segments as u64 * self.refs_per_segment
     }
+
+    /// How many fixed-width metric windows one segment spans, for a
+    /// window of `window_refs` references (the last window may be
+    /// partial). Windowed series close at segment boundaries, so each
+    /// segment rounds up independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_refs` is zero.
+    pub fn windows_per_segment(&self, window_refs: u64) -> u64 {
+        assert!(window_refs > 0, "window width must be positive");
+        self.refs_per_segment.div_ceil(window_refs)
+    }
+
+    /// Total metric windows the whole trace produces at width
+    /// `window_refs`: [`Self::windows_per_segment`] times the segment
+    /// count, since windows never span a segment boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_refs` is zero.
+    pub fn total_windows(&self, window_refs: u64) -> u64 {
+        self.segments as u64 * self.windows_per_segment(window_refs)
+    }
 }
 
 impl Default for AtumLikeConfig {
@@ -245,6 +269,21 @@ mod tests {
             .collect();
         assert_eq!(segs.len(), 2);
         assert_ne!(segs[0], segs[1], "segments should use fresh seeds");
+    }
+
+    #[test]
+    fn window_counts_round_up_per_segment() {
+        let cfg = small(3, 1_000);
+        assert_eq!(cfg.windows_per_segment(1_000), 1);
+        assert_eq!(cfg.windows_per_segment(999), 2);
+        assert_eq!(cfg.windows_per_segment(64 * 1024), 1);
+        assert_eq!(cfg.total_windows(400), 3 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "window width")]
+    fn zero_window_width_panics() {
+        small(1, 100).windows_per_segment(0);
     }
 
     #[test]
