@@ -5,6 +5,7 @@ use crate::block::Frame;
 use crate::config::CacheConfig;
 use crate::replacement::{Policy, ReplacementState};
 use crate::stats::CacheStats;
+use seta_core::packed::{LaneSpec, LaneView, PackedLanes};
 
 /// A block evicted by a fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +57,10 @@ pub struct Cache {
     frames: Vec<Frame>,
     replacement: ReplacementState,
     stats: CacheStats,
+    /// Packed-lane mirror of the stored tags for SWAR partial compares
+    /// (see [`seta_core::packed`]); kept coherent with `frames` at every
+    /// tag write. `None` until [`enable_partial_lanes`](Self::enable_partial_lanes).
+    lanes: Option<PackedLanes>,
 }
 
 impl Cache {
@@ -79,7 +84,64 @@ impl Cache {
             frames: vec![Frame::empty(); num_sets * assoc],
             replacement: ReplacementState::new(policy, num_sets, assoc, seed),
             stats: CacheStats::new(),
+            lanes: None,
         }
+    }
+
+    /// Starts maintaining packed tag lanes under `spec`, so partial-compare
+    /// lookups against this cache can use the precomputed SWAR form
+    /// ([`seta_core::lookup::PartialCompare::lookup_packed`]). Returns
+    /// `false` (and maintains nothing) if `spec`'s associativity does not
+    /// match this cache's. The lanes are (re)built from the current frame
+    /// tags, so this can be enabled mid-run.
+    pub fn enable_partial_lanes(&mut self, spec: LaneSpec) -> bool {
+        if spec.ways() != self.config.associativity() {
+            return false;
+        }
+        let num_sets = self.config.num_sets() as usize;
+        let assoc = self.config.associativity() as usize;
+        let mut lanes = PackedLanes::new(spec, num_sets);
+        let mut tags = vec![0u64; assoc];
+        for set in 0..num_sets {
+            for (w, f) in self.frames[set * assoc..(set + 1) * assoc]
+                .iter()
+                .enumerate()
+            {
+                tags[w] = f.tag;
+            }
+            lanes.rebuild_set(set, &tags);
+        }
+        self.lanes = Some(lanes);
+        true
+    }
+
+    /// The packed-lane spec in force, if lanes are maintained.
+    pub fn lane_spec(&self) -> Option<LaneSpec> {
+        self.lanes.as_ref().map(|l| l.spec())
+    }
+
+    /// One set's packed lanes for a lookup, if lanes are maintained.
+    pub fn lane_view(&self, set: u64) -> Option<LaneView<'_>> {
+        self.lanes
+            .as_ref()
+            .map(|l| l.view(usize::try_from(set).expect("set fits usize")))
+    }
+
+    /// Debug-build check that the packed lanes still mirror `set`'s frame
+    /// tags — the coherence invariant of [`seta_core::packed`], asserted
+    /// at every site that mutates a set.
+    fn debug_check_lanes(&self, set_idx: usize) {
+        #[cfg(debug_assertions)]
+        if let Some(lanes) = &self.lanes {
+            let assoc = self.config.associativity() as usize;
+            let tags: Vec<u64> = self.frames[set_idx * assoc..(set_idx + 1) * assoc]
+                .iter()
+                .map(|f| f.tag)
+                .collect();
+            lanes.assert_coherent(set_idx, &tags);
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = set_idx;
     }
 
     /// The geometry of this cache.
@@ -174,6 +236,12 @@ impl Cache {
             self.stats.record_eviction(e.dirty);
         }
         self.frames[base + way as usize] = Frame::filled(tag, is_write);
+        // The fill is the only operation that writes a frame's tag, so it
+        // is the only place the packed lanes need an incremental update.
+        if let Some(lanes) = &mut self.lanes {
+            lanes.on_fill(set_idx, way as usize, tag);
+        }
+        self.debug_check_lanes(set_idx);
         self.replacement.fill(set_idx, way);
         self.stats.record_access(false, is_write);
         AccessResult {
@@ -193,6 +261,13 @@ impl Cache {
             f.invalidate();
         }
         self.replacement.reset();
+        // Invalidation clears valid bits but keeps tags in place, so the
+        // packed lanes (which mirror tags regardless of validity) are
+        // still coherent without an update.
+        #[cfg(debug_assertions)]
+        for set in 0..self.config.num_sets() as usize {
+            self.debug_check_lanes(set);
+        }
     }
 
     /// Invalidates the block holding `addr`, if resident, returning whether
@@ -210,6 +285,8 @@ impl Cache {
         let base = usize::try_from(set).expect("set fits usize") * assoc;
         if let Some(way) = self.set_frames(set).iter().position(|f| f.matches(tag)) {
             self.frames[base + way].invalidate();
+            // Tags survive invalidation, so the lanes stay coherent.
+            self.debug_check_lanes(base / assoc);
             true
         } else {
             false
@@ -404,6 +481,53 @@ mod tests {
         assert!(r.evicted.is_none(), "freed frame is reused");
         assert!(c.probe(0x000).is_some());
         assert!(c.probe(0x300).is_some());
+    }
+
+    #[test]
+    fn partial_lanes_stay_coherent_through_mutations() {
+        use seta_core::lookup::TransformKind;
+        let mut c = small();
+        let spec = LaneSpec::try_new(16, 1, TransformKind::XorFold, 2).unwrap();
+        assert!(c.enable_partial_lanes(spec));
+        assert_eq!(c.lane_spec(), Some(spec));
+        let wrong_assoc = LaneSpec::try_new(16, 1, TransformKind::XorFold, 4).unwrap();
+        assert!(
+            !c.enable_partial_lanes(wrong_assoc),
+            "associativity mismatch"
+        );
+        assert_eq!(c.lane_spec(), Some(spec), "rejected spec must not stick");
+        // Every fill/invalidate/flush below re-asserts lane coherence in
+        // debug builds via debug_check_lanes.
+        for i in 0..64u64 {
+            c.access(i * 48, i % 2 == 0);
+        }
+        c.invalidate(0);
+        c.flush();
+        for i in 0..32u64 {
+            c.access(i * 32, false);
+        }
+        assert!(c.lane_view(0).is_some());
+    }
+
+    #[test]
+    fn lanes_enabled_mid_run_match_lanes_enabled_up_front() {
+        use seta_core::lookup::TransformKind;
+        let spec = LaneSpec::try_new(16, 2, TransformKind::Improved, 2).unwrap();
+        let mut warm = small();
+        let mut late = small();
+        assert!(warm.enable_partial_lanes(spec));
+        for i in 0..48u64 {
+            warm.access(i * 80, i % 3 == 0);
+            late.access(i * 80, i % 3 == 0);
+        }
+        assert!(late.enable_partial_lanes(spec), "rebuilds from live tags");
+        for set in 0..warm.config().num_sets() {
+            assert_eq!(
+                warm.lane_view(set).unwrap().words(),
+                late.lane_view(set).unwrap().words(),
+                "set {set}"
+            );
+        }
     }
 
     #[test]

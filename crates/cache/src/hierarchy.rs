@@ -71,6 +71,11 @@ pub struct L2RequestView<'a> {
     /// For write-backs: whether the L1's position hint still names the way
     /// where the block resides. `None` for read-ins.
     pub hint_correct: Option<bool>,
+    /// The target set's packed tag lanes (pre-access), when the cache
+    /// maintains them (see [`Cache::enable_partial_lanes`]). Lets
+    /// partial-compare scorers skip per-lookup packing via
+    /// [`seta_core::lookup::PartialCompare::lookup_packed`].
+    pub lanes: Option<seta_core::packed::LaneView<'a>>,
 }
 
 /// Receives every level-two request during a simulation.
@@ -337,6 +342,14 @@ impl TwoLevel {
         &self.l2
     }
 
+    /// Starts maintaining packed tag lanes on the level-two cache, so every
+    /// [`L2RequestView`] carries the set's lanes for SWAR partial compares.
+    /// Returns `false` if `spec` does not match the L2's associativity
+    /// (see [`Cache::enable_partial_lanes`]).
+    pub fn enable_partial_lanes(&mut self, spec: seta_core::packed::LaneSpec) -> bool {
+        self.l2.enable_partial_lanes(spec)
+    }
+
     /// Hierarchy-level counters.
     pub fn stats(&self) -> &TwoLevelStats {
         &self.stats
@@ -430,6 +443,7 @@ impl TwoLevel {
             frames,
             order,
             hint_correct,
+            lanes: self.l2.lane_view(set),
         };
         observer.on_l2_request(&view);
 

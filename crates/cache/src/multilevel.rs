@@ -228,6 +228,7 @@ impl MultiLevel {
             frames,
             order,
             hint_correct: None,
+            lanes: cache.lane_view(set),
         };
         observer.on_request(level, &view);
 

@@ -25,6 +25,8 @@
 //!   micro-events behind each lookup's probe count.
 //! * [`transform`] — GF(2)-linear tag transformations that randomize the
 //!   high tag bits so partial compares behave (§2.2 and Figure 6).
+//! * [`packed`] — packed-lane tag storage and the SWAR evaluation of the
+//!   partial-compare step one (all slots of a subset in one XOR).
 //! * [`model`] — the closed-form expected-probe formulas of Table 1.
 //! * [`timing`] — the access/cycle-time and package-count cost model of
 //!   Table 2.
@@ -57,13 +59,15 @@ pub mod dist;
 pub mod lookup;
 pub mod model;
 pub mod observe;
+pub mod packed;
 pub mod probe;
 pub mod set_view;
 pub mod timing;
 pub mod transform;
 
 pub use dist::MruDistanceHistogram;
-pub use lookup::{Lookup, LookupStrategy};
+pub use lookup::{Lookup, LookupStrategy, StrategyKind};
 pub use observe::ProbeObserver;
+pub use packed::{LaneSpec, LaneView, PackedLanes};
 pub use probe::{ProbeStats, Tally};
 pub use set_view::{SetView, MAX_ASSOC};

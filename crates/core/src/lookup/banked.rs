@@ -122,8 +122,58 @@ impl Banked {
 }
 
 impl LookupStrategy for Banked {
+    // `(total + b - 1) / b` beats `div_ceil` here: the bench guard
+    // measures ~5 ns/access more for the div_ceil form on the miss path
+    // (its extra remainder + branch defeats the single-division codegen).
+    #[allow(clippy::manual_div_ceil)]
     fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
-        self.search(view, tag, &mut ())
+        // Fast path on the whole-set equality bitmask: a frame-order scan
+        // reduces to ctz/division, an MRU-order scan to the first order
+        // entry whose mask bit is set. `search` stays as the scalar
+        // reference behind `lookup_observed`.
+        let total = view.ways() as u32;
+        if total == 1 {
+            return Lookup {
+                hit_way: view.matching_way(tag),
+                probes: 1,
+            };
+        }
+        let m = view.eq_mask(tag);
+        let b = self.banks;
+        match self.order {
+            ScanOrder::Frame => {
+                if m == 0 {
+                    Lookup {
+                        hit_way: None,
+                        probes: (total + b - 1) / b,
+                    }
+                } else {
+                    let w = m.trailing_zeros();
+                    Lookup {
+                        hit_way: Some(w as u8),
+                        probes: w / b + 1,
+                    }
+                }
+            }
+            ScanOrder::Mru => {
+                let mut result = Lookup {
+                    hit_way: None,
+                    probes: 1 + (total + b - 1) / b,
+                };
+                if m != 0 {
+                    for (visited, &w) in view.order().iter().enumerate() {
+                        if (m >> w) & 1 != 0 {
+                            result = Lookup {
+                                hit_way: Some(w),
+                                probes: 1 + visited as u32 / b + 1,
+                            };
+                            break;
+                        }
+                    }
+                }
+                result
+            }
+        }
     }
 
     fn lookup_observed(&self, view: &SetView, tag: u64, obs: &mut dyn ProbeObserver) -> Lookup {
@@ -132,6 +182,14 @@ impl LookupStrategy for Banked {
 
     fn name(&self) -> String {
         format!("banked[b={},{}]", self.banks, self.order)
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "banked"
+    }
+
+    fn kind(&self) -> Option<crate::lookup::StrategyKind> {
+        Some(crate::lookup::StrategyKind::Banked(*self))
     }
 }
 

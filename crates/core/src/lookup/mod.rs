@@ -79,6 +79,91 @@ pub trait LookupStrategy {
 
     /// Short name for reports, e.g. `"mru"` or `"partial"`.
     fn name(&self) -> String;
+
+    /// The strategy's kind as a static string (`"mru"`, `"partial"`, …) —
+    /// the allocation-free form of [`name`](Self::name) for hot report and
+    /// heartbeat loops that label output per strategy per window. Unlike
+    /// `name`, it omits per-instance configuration.
+    fn kind_name(&self) -> &'static str {
+        "custom"
+    }
+
+    /// The closed-enum form of this strategy, if it is one of the built-in
+    /// implementations. Scorer hot loops use this to dispatch statically
+    /// (one match instead of a virtual call per access); external
+    /// strategies return `None` and keep working through the vtable.
+    fn kind(&self) -> Option<StrategyKind> {
+        None
+    }
+}
+
+/// The built-in lookup implementations as a closed enum.
+///
+/// `Box<dyn LookupStrategy>` stays the extensibility surface for CLIs and
+/// experiments, but a per-access virtual call blocks inlining of the
+/// branchless fast paths. Hot loops resolve each boxed strategy to its
+/// `StrategyKind` once (via [`LookupStrategy::kind`]) and then dispatch
+/// through one jump table whose arms inline fully.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrategyKind {
+    /// [`Traditional`] parallel lookup.
+    Traditional(Traditional),
+    /// [`Naive`] frame-order serial lookup.
+    Naive(Naive),
+    /// [`Mru`] serial lookup (full or truncated list).
+    Mru(Mru),
+    /// [`PartialCompare`] two-step lookup.
+    Partial(PartialCompare),
+    /// [`Banked`] grouped serial lookup.
+    Banked(Banked),
+}
+
+impl StrategyKind {
+    /// Statically dispatched [`LookupStrategy::lookup`].
+    #[inline]
+    pub fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
+        match self {
+            StrategyKind::Traditional(s) => s.lookup(view, tag),
+            StrategyKind::Naive(s) => s.lookup(view, tag),
+            StrategyKind::Mru(s) => s.lookup(view, tag),
+            StrategyKind::Partial(s) => s.lookup(view, tag),
+            StrategyKind::Banked(s) => s.lookup(view, tag),
+        }
+    }
+
+    /// Statically dispatched [`LookupStrategy::lookup_observed`].
+    #[inline]
+    pub fn lookup_observed(&self, view: &SetView, tag: u64, obs: &mut dyn ProbeObserver) -> Lookup {
+        match self {
+            StrategyKind::Traditional(s) => s.lookup_observed(view, tag, obs),
+            StrategyKind::Naive(s) => s.lookup_observed(view, tag, obs),
+            StrategyKind::Mru(s) => s.lookup_observed(view, tag, obs),
+            StrategyKind::Partial(s) => s.lookup_observed(view, tag, obs),
+            StrategyKind::Banked(s) => s.lookup_observed(view, tag, obs),
+        }
+    }
+
+    /// Statically dispatched [`LookupStrategy::name`].
+    pub fn name(&self) -> String {
+        match self {
+            StrategyKind::Traditional(s) => s.name(),
+            StrategyKind::Naive(s) => s.name(),
+            StrategyKind::Mru(s) => s.name(),
+            StrategyKind::Partial(s) => s.name(),
+            StrategyKind::Banked(s) => s.name(),
+        }
+    }
+
+    /// Statically dispatched [`LookupStrategy::kind_name`].
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            StrategyKind::Traditional(s) => s.kind_name(),
+            StrategyKind::Naive(s) => s.kind_name(),
+            StrategyKind::Mru(s) => s.kind_name(),
+            StrategyKind::Partial(s) => s.kind_name(),
+            StrategyKind::Banked(s) => s.kind_name(),
+        }
+    }
 }
 
 #[cfg(test)]

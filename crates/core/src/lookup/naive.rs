@@ -44,7 +44,23 @@ impl Naive {
 
 impl LookupStrategy for Naive {
     fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
-        self.search(view, tag, &mut ())
+        // An early-exit frame-order scan beats a whole-set equality mask
+        // here: hits cluster at low scan positions, so the serial loop
+        // touches ~half the ways on average while the mask always pays
+        // for all of them. The scalar `search` stays the observed
+        // reference; this is the same walk minus the observer calls.
+        for w in 0..view.ways() {
+            if view.is_valid(w) && view.tag(w) == tag {
+                return Lookup {
+                    hit_way: Some(w as u8),
+                    probes: w as u32 + 1,
+                };
+            }
+        }
+        Lookup {
+            hit_way: None,
+            probes: view.ways() as u32,
+        }
     }
 
     fn lookup_observed(&self, view: &SetView, tag: u64, obs: &mut dyn ProbeObserver) -> Lookup {
@@ -53,6 +69,14 @@ impl LookupStrategy for Naive {
 
     fn name(&self) -> String {
         "naive".into()
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn kind(&self) -> Option<crate::lookup::StrategyKind> {
+        Some(crate::lookup::StrategyKind::Naive(*self))
     }
 }
 

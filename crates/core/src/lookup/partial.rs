@@ -2,8 +2,9 @@
 
 use crate::lookup::{Lookup, LookupStrategy};
 use crate::observe::ProbeObserver;
+use crate::packed::{LaneCodec, LaneSpec, LaneView};
 use crate::set_view::SetView;
-use crate::transform::{Improved, TagTransform, XorFold};
+use crate::transform::{tag_mask, Improved, TagTransform, XorFold};
 
 /// Which tag transformation a [`PartialCompare`] applies (Figure 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -148,7 +149,7 @@ impl PartialCompare {
             TransformKind::Swap => 0,
             _ => slot * k,
         };
-        (transformed_tag >> shift) & ((1u64 << k) - 1)
+        (transformed_tag >> shift) & tag_mask(k)
     }
 
     fn search<P: ProbeObserver + ?Sized>(&self, view: &SetView, tag: u64, obs: &mut P) -> Lookup {
@@ -190,11 +191,89 @@ impl PartialCompare {
         }
         Lookup { hit_way, probes }
     }
+
+    /// The packed-lane geometry this strategy induces on an `a`-way cache,
+    /// if one exists (see [`LaneSpec::try_new`]). A cache that maintains
+    /// [`PackedLanes`](crate::PackedLanes) under this spec lets
+    /// [`lookup_packed`](Self::lookup_packed) skip the per-lookup packing.
+    pub fn lane_spec(&self, ways: usize) -> Option<LaneSpec> {
+        LaneSpec::try_new(self.tag_bits, self.subsets, self.transform, ways as u32)
+    }
+
+    /// Probe- and result-identical to `search`, evaluated with SWAR: every
+    /// slot's step-one slice compare lands in one XOR + zero-field detect
+    /// per subset (see [`crate::packed`]). The lane words are packed here
+    /// from the view (still branch-free per way); callers that maintain
+    /// lanes incrementally use [`lookup_packed`](Self::lookup_packed) and
+    /// skip both the packing and the per-lookup codec construction.
+    fn lookup_swar(&self, view: &SetView, tag: u64) -> Lookup {
+        let ways = view.ways();
+        if ways == 1 {
+            return Lookup {
+                hit_way: view.matching_way(tag),
+                probes: 1,
+            };
+        }
+        let k = self.k_for(ways); // same panics as the scalar path
+        let n = ways as u32 / self.subsets;
+        let codec = LaneCodec::new(self.tag_bits, k, n, self.transform);
+        let tags = view.tags();
+        let mut words = [0u64; crate::set_view::MAX_ASSOC];
+        for (subset, word) in words[..self.subsets as usize].iter_mut().enumerate() {
+            let base = subset * n as usize;
+            let mut packed = 0u64;
+            for slot in 0..n as usize {
+                packed |= codec.store_field(tags[base + slot], slot as u32);
+            }
+            *word = packed;
+        }
+        codec.swar_lookup(
+            &words[..self.subsets as usize],
+            tags,
+            view.valid_mask(),
+            tag,
+        )
+    }
+
+    /// [`lookup`](LookupStrategy::lookup) against lane words a cache keeps
+    /// incrementally (see [`crate::PackedLanes`]) — the packing loop
+    /// disappears entirely from the per-access cost.
+    ///
+    /// The caller must pass lanes whose [`spec`](LaneView::spec) equals
+    /// [`lane_spec`](Self::lane_spec) for this view's associativity;
+    /// debug builds assert it, and assert the words are coherent with the
+    /// view's tags.
+    #[inline]
+    pub fn lookup_packed(&self, view: &SetView, lanes: &LaneView<'_>, tag: u64) -> Lookup {
+        debug_assert_eq!(
+            Some(lanes.spec()),
+            self.lane_spec(view.ways()),
+            "lane spec does not match strategy/view geometry"
+        );
+        #[cfg(debug_assertions)]
+        {
+            let codec = lanes.spec().codec();
+            let n = lanes.spec().per_subset() as usize;
+            for (subset, &word) in lanes.words().iter().enumerate() {
+                let mut expect = 0u64;
+                for slot in 0..n {
+                    expect |= codec.store_field(view.tag(subset * n + slot), slot as u32);
+                }
+                debug_assert_eq!(
+                    word, expect,
+                    "lane word {subset} is stale for this view's tags"
+                );
+            }
+        }
+        lanes
+            .codec
+            .swar_lookup(lanes.words, view.tags(), view.valid_mask(), tag)
+    }
 }
 
 impl LookupStrategy for PartialCompare {
     fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
-        self.search(view, tag, &mut ())
+        self.lookup_swar(view, tag)
     }
 
     fn lookup_observed(&self, view: &SetView, tag: u64, obs: &mut dyn ProbeObserver) -> Lookup {
@@ -206,6 +285,14 @@ impl LookupStrategy for PartialCompare {
             "partial[t={},s={},{}]",
             self.tag_bits, self.subsets, self.transform
         )
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "partial"
+    }
+
+    fn kind(&self) -> Option<crate::lookup::StrategyKind> {
+        Some(crate::lookup::StrategyKind::Partial(*self))
     }
 }
 

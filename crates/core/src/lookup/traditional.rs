@@ -37,7 +37,14 @@ impl Traditional {
 
 impl LookupStrategy for Traditional {
     fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
-        self.search(view, tag, &mut ())
+        // Branchless fast path: the whole-set equality bitmask plays the
+        // role of the hardware's parallel comparators; `search` stays as
+        // the scalar reference behind `lookup_observed`.
+        let m = view.eq_mask(tag);
+        Lookup {
+            hit_way: (m != 0).then(|| m.trailing_zeros() as u8),
+            probes: 1,
+        }
     }
 
     fn lookup_observed(&self, view: &SetView, tag: u64, obs: &mut dyn ProbeObserver) -> Lookup {
@@ -46,6 +53,14 @@ impl LookupStrategy for Traditional {
 
     fn name(&self) -> String {
         "traditional".into()
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "traditional"
+    }
+
+    fn kind(&self) -> Option<crate::lookup::StrategyKind> {
+        Some(crate::lookup::StrategyKind::Traditional(*self))
     }
 }
 

@@ -127,9 +127,32 @@ impl SetView {
         self.valid & (1 << w) != 0
     }
 
+    /// All stored tags as a slice (`tags()[w]` is meaningful only when the
+    /// corresponding [`valid_mask`](Self::valid_mask) bit is set).
+    pub fn tags(&self) -> &[u64] {
+        &self.tags[..self.ways()]
+    }
+
     /// The MRU order: way indices, most-recently-used first.
     pub fn order(&self) -> &[u8] {
         &self.order[..self.ways()]
+    }
+
+    /// Bitmask of valid ways: bit `w` set iff way `w` holds a block.
+    pub fn valid_mask(&self) -> u32 {
+        self.valid
+    }
+
+    /// Whole-set equality bitmask: bit `w` set iff way `w` is valid and its
+    /// stored tag equals `tag`. This is the branchless core of the fast
+    /// lookup paths — one pass of data-parallel compares, no early exits —
+    /// so the compiler is free to vectorize it.
+    pub fn eq_mask(&self, tag: u64) -> u32 {
+        let mut m = 0u32;
+        for (w, &t) in self.tags[..self.ways()].iter().enumerate() {
+            m |= ((t == tag) as u32) << w;
+        }
+        m & self.valid
     }
 
     /// The way whose valid stored tag equals `tag`, if any. This is ground

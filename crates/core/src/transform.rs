@@ -211,7 +211,13 @@ impl TagTransform for Improved {
         let tag = tag & mask(self.tag_bits);
         let k = self.field_bits;
         let p0 = tag & mask(k);
-        let p1 = (tag >> k) & mask(k);
+        // When k == t there is no second field (and `tag >> 64` would be UB
+        // for k == 64); the transform degenerates to the identity.
+        let p1 = if k < self.tag_bits {
+            (tag >> k) & mask(k)
+        } else {
+            0
+        };
         let mut out = p0;
         if k < self.tag_bits {
             out |= (p1 ^ p0) << k;
@@ -229,7 +235,11 @@ impl TagTransform for Improved {
         let tag = tag & mask(self.tag_bits);
         let k = self.field_bits;
         let p0 = tag & mask(k);
-        let o1 = (tag >> k) & mask(k);
+        let o1 = if k < self.tag_bits {
+            (tag >> k) & mask(k)
+        } else {
+            0
+        };
         let p1 = o1 ^ p0;
         let mut out = p0;
         if k < self.tag_bits {

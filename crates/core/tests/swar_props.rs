@@ -1,0 +1,144 @@
+//! Property tests pinning the branchless/SWAR fast paths to the scalar
+//! reference implementation.
+//!
+//! Every built-in strategy keeps its original scalar `search` as the body
+//! of `lookup_observed`; the un-instrumented `lookup` runs the rewritten
+//! fast path. These tests drive both over the same inputs — ways 1..=32,
+//! tag widths 1..=64, all four `TransformKind`s, full and truncated MRU
+//! lists — and require bit-identical `(hit_way, probes)` results, plus the
+//! same again for `PartialCompare::lookup_packed` against incrementally
+//! maintainable lane words.
+
+use proptest::prelude::*;
+use seta_core::lookup::{
+    Banked, LookupStrategy, Mru, Naive, PartialCompare, ScanOrder, Traditional, TransformKind,
+};
+use seta_core::packed::PackedLanes;
+use seta_core::{SetView, MAX_ASSOC};
+
+/// The scalar reference: `lookup_observed` with a no-op observer runs the
+/// retained pre-rewrite search loop in every built-in strategy.
+fn scalar(strategy: &dyn LookupStrategy, view: &SetView, tag: u64) -> seta_core::Lookup {
+    strategy.lookup_observed(view, tag, &mut ())
+}
+
+fn transform(idx: u64) -> TransformKind {
+    [
+        TransformKind::None,
+        TransformKind::XorFold,
+        TransformKind::Improved,
+        TransformKind::Swap,
+    ][(idx % 4) as usize]
+}
+
+/// Builds a `ways`-way snapshot from oversized raw material, with a
+/// pseudo-random MRU permutation, plus a probe tag that points at a stored
+/// (possibly invalid, possibly duplicated) tag about half the time.
+fn build_case(
+    ways: usize,
+    tags: &[u64],
+    valid: &[bool],
+    seed: u64,
+    pick: usize,
+    raw_tag: u64,
+) -> (SetView, u64) {
+    let tags = &tags[..ways];
+    let valid = &valid[..ways];
+    let mut order: Vec<u8> = (0..ways as u8).collect();
+    let mut s = seed;
+    for i in (1..ways).rev() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        order.swap(i, (s >> 33) as usize % (i + 1));
+    }
+    let tag = if pick == 0 {
+        raw_tag
+    } else {
+        tags[(pick - 1) % ways]
+    };
+    (SetView::from_parts(tags, valid, &order), tag)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn whole_set_strategies_match_scalar(
+        ways in 1usize..=MAX_ASSOC,
+        tags in proptest::collection::vec(any::<u64>(), MAX_ASSOC),
+        valid in proptest::collection::vec(any::<bool>(), MAX_ASSOC),
+        seed in any::<u64>(),
+        pick in 0usize..=MAX_ASSOC,
+        raw_tag in any::<u64>(),
+        mru_len in 0usize..=40,
+        banks in 1u32..=9,
+        mru_banks in any::<bool>(),
+    ) {
+        let (view, tag) = build_case(ways, &tags, &valid, seed, pick, raw_tag);
+        let mru = match mru_len {
+            0 => Mru::full(),
+            l => Mru::truncated(l),
+        };
+        let banked = Banked::new(
+            banks,
+            if mru_banks { ScanOrder::Mru } else { ScanOrder::Frame },
+        );
+        let strategies: [&dyn LookupStrategy; 4] = [&Traditional, &Naive, &mru, &banked];
+        for s in strategies {
+            prop_assert_eq!(
+                s.lookup(&view, tag),
+                scalar(s, &view, tag),
+                "{} fast path diverged from scalar reference (ways={})",
+                s.name(),
+                ways
+            );
+        }
+    }
+
+    #[test]
+    fn partial_compare_swar_matches_scalar(
+        ways in 1usize..=MAX_ASSOC,
+        tags in proptest::collection::vec(any::<u64>(), MAX_ASSOC),
+        valid in proptest::collection::vec(any::<bool>(), MAX_ASSOC),
+        seed in any::<u64>(),
+        pick in 0usize..=MAX_ASSOC,
+        raw_tag in any::<u64>(),
+        transform_idx in any::<u64>(),
+        subsets_sel in any::<u64>(),
+        width_sel in any::<u64>(),
+    ) {
+        let (view, tag) = build_case(ways, &tags, &valid, seed, pick, raw_tag);
+        let divisors: Vec<u32> =
+            (1..=ways as u32).filter(|d| ways as u32 % d == 0).collect();
+        let subsets = divisors[(subsets_sel % divisors.len() as u64) as usize];
+        // Any width in per_subset..=64 keeps k ≥ 1; the low end exercises
+        // k = 1, and subsets == ways exercises k all the way up to 64.
+        let per_subset = ways as u64 / subsets as u64;
+        let tag_bits = (per_subset + width_sel % (64 - per_subset + 1)) as u32;
+        let kind = transform(transform_idx);
+        let p = PartialCompare::new(tag_bits, subsets, kind);
+
+        let fast = p.lookup(&view, tag);
+        prop_assert_eq!(
+            fast,
+            scalar(&p, &view, tag),
+            "SWAR path diverged (t={}, s={}, {:?}, ways={})",
+            tag_bits, subsets, kind, ways
+        );
+
+        // The cache-maintained packed path must agree too. rebuild_set is
+        // proven equivalent to incremental on_fill in the packed module's
+        // unit tests.
+        if let Some(spec) = p.lane_spec(ways) {
+            let mut lanes = PackedLanes::new(spec, 1);
+            lanes.rebuild_set(0, view.tags());
+            prop_assert_eq!(
+                p.lookup_packed(&view, &lanes.view(0), tag),
+                fast,
+                "packed-lane path diverged (t={}, s={}, {:?}, ways={})",
+                tag_bits, subsets, kind, ways
+            );
+        }
+    }
+}

@@ -112,7 +112,18 @@ pub struct WindowSeries {
     refs: u64,
     segment: u64,
     closed: Vec<WindowRecord>,
-    current: WindowRecord,
+    /// Counters of the open window. Kept as plain numbers (no per-strategy
+    /// name Strings) so closing and reopening windows — every
+    /// `window_refs` references and at every segment boundary — never
+    /// allocates; the owned [`WindowRecord`] is only materialized for
+    /// windows that actually saw traffic.
+    window: u64,
+    refs_start: u64,
+    read_ins: u64,
+    read_in_hits: u64,
+    mru_pos0_hits: u64,
+    write_backs: u64,
+    probes: Vec<u64>,
 }
 
 impl WindowSeries {
@@ -124,14 +135,19 @@ impl WindowSeries {
     /// Panics if `window_refs` is zero.
     pub fn new(strategy_names: &[String], window_refs: u64) -> Self {
         assert!(window_refs > 0, "window width must be positive");
-        let names = strategy_names.to_vec();
         WindowSeries {
-            current: blank_window(&names, 0, 0, 0),
-            strategy_names: names,
+            probes: vec![0; strategy_names.len()],
+            strategy_names: strategy_names.to_vec(),
             window_refs,
             refs: 0,
             segment: 0,
             closed: Vec::new(),
+            window: 0,
+            refs_start: 0,
+            read_ins: 0,
+            read_in_hits: 0,
+            mru_pos0_hits: 0,
+            write_backs: 0,
         }
     }
 
@@ -144,7 +160,7 @@ impl WindowSeries {
     /// reaches the window width.
     pub fn on_ref(&mut self) {
         self.refs += 1;
-        if self.refs - self.current.refs_start >= self.window_refs {
+        if self.refs - self.refs_start >= self.window_refs {
             self.close_current();
         }
     }
@@ -152,20 +168,20 @@ impl WindowSeries {
     /// Records an L2 read-in. `hit` is whether it hit; `pos0` whether the
     /// hit was at MRU stack distance 0.
     pub fn on_read_in(&mut self, hit: bool, pos0: bool) {
-        self.current.read_ins += 1;
-        self.current.read_in_hits += hit as u64;
-        self.current.mru_pos0_hits += (hit && pos0) as u64;
+        self.read_ins += 1;
+        self.read_in_hits += hit as u64;
+        self.mru_pos0_hits += (hit && pos0) as u64;
     }
 
     /// Records an L2 write-back.
     pub fn on_write_back(&mut self) {
-        self.current.write_backs += 1;
+        self.write_backs += 1;
     }
 
     /// Adds probes spent by strategy `idx` (index into the constructor's
     /// name list).
     pub fn add_probes(&mut self, idx: usize, probes: u64) {
-        self.current.strategies[idx].probes += probes;
+        self.probes[idx] += probes;
     }
 
     /// Closes the current window (if non-empty) and starts the next
@@ -173,7 +189,6 @@ impl WindowSeries {
     pub fn on_segment_boundary(&mut self) {
         self.close_current();
         self.segment += 1;
-        self.current.segment = self.segment;
     }
 
     /// Miss ratio of the most recently closed window, for heartbeats.
@@ -193,37 +208,38 @@ impl WindowSeries {
     }
 
     fn close_current(&mut self) {
-        self.current.refs_end = self.refs;
-        let empty = self.current.refs() == 0
-            && self.current.read_ins == 0
-            && self.current.write_backs == 0
-            && self.current.strategies.iter().all(|s| s.probes == 0);
-        let next_window = self.current.window + if empty { 0 } else { 1 };
-        let next = blank_window(&self.strategy_names, next_window, self.segment, self.refs);
-        let finished = std::mem::replace(&mut self.current, next);
+        let empty = self.refs == self.refs_start
+            && self.read_ins == 0
+            && self.write_backs == 0
+            && self.probes.iter().all(|&p| p == 0);
         if !empty {
-            self.closed.push(finished);
+            self.closed.push(WindowRecord {
+                window: self.window,
+                segment: self.segment,
+                refs_start: self.refs_start,
+                refs_end: self.refs,
+                read_ins: self.read_ins,
+                read_in_hits: self.read_in_hits,
+                mru_pos0_hits: self.mru_pos0_hits,
+                write_backs: self.write_backs,
+                strategies: self
+                    .strategy_names
+                    .iter()
+                    .zip(&self.probes)
+                    .map(|(n, &probes)| StrategyWindow {
+                        strategy: n.clone(),
+                        probes,
+                    })
+                    .collect(),
+            });
+            self.window += 1;
         }
-    }
-}
-
-fn blank_window(names: &[String], window: u64, segment: u64, refs_start: u64) -> WindowRecord {
-    WindowRecord {
-        window,
-        segment,
-        refs_start,
-        refs_end: refs_start,
-        read_ins: 0,
-        read_in_hits: 0,
-        mru_pos0_hits: 0,
-        write_backs: 0,
-        strategies: names
-            .iter()
-            .map(|n| StrategyWindow {
-                strategy: n.clone(),
-                probes: 0,
-            })
-            .collect(),
+        self.refs_start = self.refs;
+        self.read_ins = 0;
+        self.read_in_hits = 0;
+        self.mru_pos0_hits = 0;
+        self.write_backs = 0;
+        self.probes.iter_mut().for_each(|p| *p = 0);
     }
 }
 
@@ -307,6 +323,26 @@ mod tests {
 
     fn names() -> Vec<String> {
         vec!["traditional".to_owned(), "mru".to_owned()]
+    }
+
+    fn blank_window(names: &[String], window: u64, segment: u64, refs_start: u64) -> WindowRecord {
+        WindowRecord {
+            window,
+            segment,
+            refs_start,
+            refs_end: refs_start,
+            read_ins: 0,
+            read_in_hits: 0,
+            mru_pos0_hits: 0,
+            write_backs: 0,
+            strategies: names
+                .iter()
+                .map(|n| StrategyWindow {
+                    strategy: n.clone(),
+                    probes: 0,
+                })
+                .collect(),
+        }
     }
 
     /// Drives a synthetic 2-segment run: every 4th ref is a read-in that

@@ -30,7 +30,7 @@
 use crate::runner::{assemble_outcome, RunOutcome, Scorer};
 use serde::{Deserialize, Serialize};
 use seta_cache::{CacheConfig, L2Observer, L2RequestKind, L2RequestView, TwoLevel};
-use seta_core::lookup::LookupStrategy;
+use seta_core::lookup::{LookupStrategy, StrategyKind};
 use seta_core::{model, ProbeObserver};
 use seta_obs::{
     EventRing, PositionHistogram, ProbeEvent, SetHeatmap, SpanBuffer, SpanClock, SpanTrace,
@@ -485,6 +485,11 @@ impl ProbeObserver for ProbeRecorder {
 /// The instrumented observer: the plain [`Scorer`] plus event recording.
 struct Explainer<'a> {
     scorer: Scorer<'a>,
+    /// Monomorphized dispatch for the observed (scalar-reference) path:
+    /// built-ins resolve once so the per-access loop skips the vtable,
+    /// while routing through exactly the same retained scalar search — the
+    /// event stream is unchanged.
+    kinds: Vec<Option<StrategyKind>>,
     recorders: Vec<ProbeRecorder>,
     /// Per-strategy (read-in, write-back) event totals.
     totals: Vec<(ProbeBreakdown, ProbeBreakdown)>,
@@ -498,6 +503,7 @@ impl<'a> Explainer<'a> {
     fn new(strategies: &'a [Box<dyn LookupStrategy>], assoc: u32, cfg: &ExplainConfig) -> Self {
         Explainer {
             scorer: Scorer::new(strategies, assoc),
+            kinds: strategies.iter().map(|s| s.kind()).collect(),
             recorders: strategies
                 .iter()
                 .map(|_| ProbeRecorder::default())
@@ -517,6 +523,7 @@ impl L2Observer for Explainer<'_> {
         // and ring disjointly from the scorer.
         let Explainer {
             scorer,
+            kinds,
             recorders,
             totals,
             ring,
@@ -535,7 +542,10 @@ impl L2Observer for Explainer<'_> {
         scorer.score_with(req, |i, strategy, view, tag| {
             let rec = &mut recorders[i];
             rec.current = LookupEvents::default();
-            let lookup = strategy.lookup_observed(view, tag, rec);
+            let lookup = match kinds[i] {
+                Some(k) => k.lookup_observed(view, tag, rec),
+                None => strategy.lookup_observed(view, tag, rec),
+            };
             debug_assert_eq!(
                 rec.current.probes(),
                 lookup.probes,

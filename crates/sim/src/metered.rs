@@ -332,6 +332,9 @@ where
     W: Write,
 {
     let mut hierarchy = TwoLevel::new(l1, l2).expect("L1 blocks must fit in L2 blocks");
+    if let Some(spec) = crate::runner::partial_lane_spec(strategies, l2.associativity()) {
+        hierarchy.enable_partial_lanes(spec);
+    }
     let mut meter = Meter::new(strategies, l2.associativity(), cfg.window_refs);
     let mut sink = RefSink::default();
     let mut span_buf = SpanBuffer::new(0, SpanClock::new());

@@ -5,8 +5,9 @@ use seta_cache::{
     CacheConfig, CacheStats, L2Observer, L2RequestKind, L2RequestView, TwoLevel, TwoLevelStats,
 };
 use seta_core::lookup::{
-    Lookup, LookupStrategy, Mru, Naive, PartialCompare, Traditional, TransformKind,
+    Lookup, LookupStrategy, Mru, Naive, PartialCompare, StrategyKind, Traditional, TransformKind,
 };
+use seta_core::packed::LaneSpec;
 use seta_core::{model, MruDistanceHistogram, ProbeStats, SetView};
 use seta_obs::{SpanBuffer, SpanClock, SpanId, SpanTrace};
 use seta_trace::TraceEvent;
@@ -58,6 +59,15 @@ impl RunOutcome {
 /// Scores every strategy against each L2 request's pre-access set state.
 pub(crate) struct Scorer<'a> {
     strategies: &'a [Box<dyn LookupStrategy>],
+    /// Monomorphized dispatch table: built-in strategies resolve to a
+    /// [`StrategyKind`] once at construction, so the per-access loop calls
+    /// the inlined fast paths instead of going through the vtable. `None`
+    /// entries (user-defined strategies) keep the dynamic call.
+    kinds: Vec<Option<StrategyKind>>,
+    /// Per-strategy packed-lane geometry, `Some` only for partial-compare
+    /// strategies whose spec is realizable at this associativity. Compared
+    /// against the request's lane view to gate the precomputed-word path.
+    lane_specs: Vec<Option<LaneSpec>>,
     pub(crate) results: Vec<(ProbeStats, ProbeStats)>,
     pub(crate) mru_hist: MruDistanceHistogram,
     /// Scratch buffers for snapshotting the target set, reused across
@@ -74,6 +84,14 @@ impl<'a> Scorer<'a> {
     pub(crate) fn new(strategies: &'a [Box<dyn LookupStrategy>], assoc: u32) -> Self {
         Scorer {
             strategies,
+            kinds: strategies.iter().map(|s| s.kind()).collect(),
+            lane_specs: strategies
+                .iter()
+                .map(|s| match s.kind() {
+                    Some(StrategyKind::Partial(p)) => p.lane_spec(assoc as usize),
+                    _ => None,
+                })
+                .collect(),
             results: vec![(ProbeStats::new(), ProbeStats::new()); strategies.len()],
             mru_hist: MruDistanceHistogram::new(assoc as usize),
             tags_buf: vec![0; assoc as usize],
@@ -152,8 +170,39 @@ impl<'a> Scorer<'a> {
 
 impl L2Observer for Scorer<'_> {
     fn on_l2_request(&mut self, req: &L2RequestView<'_>) {
-        self.score_with(req, |_, strategy, view, tag| strategy.lookup(view, tag));
+        // Take the dispatch tables out of `self` so the closure can read
+        // them while `score_with` holds the mutable borrow.
+        let kinds = std::mem::take(&mut self.kinds);
+        let lane_specs = std::mem::take(&mut self.lane_specs);
+        let lanes = req.lanes;
+        self.score_with(req, |i, strategy, view, tag| match kinds[i] {
+            Some(StrategyKind::Partial(p)) => match lanes {
+                // The cache maintains packed lane words for this exact
+                // geometry: skip step-one packing entirely.
+                Some(l) if lane_specs[i] == Some(l.spec()) => p.lookup_packed(view, &l, tag),
+                _ => p.lookup(view, tag),
+            },
+            Some(k) => k.lookup(view, tag),
+            None => strategy.lookup(view, tag),
+        });
+        self.kinds = kinds;
+        self.lane_specs = lane_specs;
     }
+}
+
+/// The packed-lane geometry the hierarchy should maintain for
+/// `strategies`: the first partial-compare strategy whose spec is
+/// realizable at associativity `assoc`. Feeding this to
+/// [`TwoLevel::enable_partial_lanes`] lets the scorer's partial fast path
+/// read precomputed lane words instead of packing the set on every access.
+pub(crate) fn partial_lane_spec(
+    strategies: &[Box<dyn LookupStrategy>],
+    assoc: u32,
+) -> Option<LaneSpec> {
+    strategies.iter().find_map(|s| match s.kind() {
+        Some(StrategyKind::Partial(p)) => p.lane_spec(assoc as usize),
+        _ => None,
+    })
 }
 
 /// Runs one simulation: drives `events` through a fresh two-level
@@ -192,6 +241,9 @@ where
 {
     let mut hierarchy = TwoLevel::with_l2_policy(l1, l2, l2_policy, policy_seed)
         .expect("L1 blocks must fit in L2 blocks");
+    if let Some(spec) = partial_lane_spec(strategies, l2.associativity()) {
+        hierarchy.enable_partial_lanes(spec);
+    }
     let mut scorer = Scorer::new(strategies, l2.associativity());
     hierarchy.run(events, &mut scorer);
     assemble_outcome(&hierarchy, scorer, strategies)
@@ -253,6 +305,9 @@ where
     I: IntoIterator<Item = TraceEvent>,
 {
     let mut hierarchy = TwoLevel::new(l1, l2).expect("L1 blocks must fit in L2 blocks");
+    if let Some(spec) = partial_lane_spec(strategies, l2.associativity()) {
+        hierarchy.enable_partial_lanes(spec);
+    }
     let mut scorer = Scorer::new(strategies, l2.associativity());
     let mut buf = SpanBuffer::new(0, SpanClock::new());
     let root = buf.open("simulate", "run");
@@ -341,6 +396,9 @@ impl RunSpec {
         let strategies = standard_strategies(self.l2.associativity(), self.tag_bits);
         let mut hierarchy = TwoLevel::with_l2_policy(self.l1, self.l2, seta_cache::Policy::Lru, 0)
             .expect("L1 blocks must fit in L2 blocks");
+        if let Some(spec) = partial_lane_spec(&strategies, self.l2.associativity()) {
+            hierarchy.enable_partial_lanes(spec);
+        }
         let mut scorer = Scorer::new(&strategies, self.l2.associativity());
         hierarchy.run(
             seta_trace::gen::AtumLike::segment_range(self.trace.clone(), self.seed, start, end),
