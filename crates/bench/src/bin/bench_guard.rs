@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! bench_guard [--check] [--dir PATH] [--tolerance F] [--quick]
-//!             [--passes K] [--no-write] [--spans FILE] [--version]
+//!             [--passes K] [--no-write] [--spans FILE]
+//!             [--history-html FILE] [--version]
 //!
 //!   (default)      measure and write the next BENCH_<n>.json in --dir
 //!   --check        additionally compare against the newest existing
@@ -21,6 +22,11 @@
 //!   --no-write     measure and check without writing a new BENCH file
 //!   --spans FILE   also run one span-traced sweep and write its
 //!                  Perfetto trace_event JSON to FILE
+//!   --history-html FILE
+//!                  render every BENCH_<n>.json in --dir as a
+//!                  self-contained HTML trajectory report. Combined with
+//!                  --no-write and without --check, nothing is measured:
+//!                  the report renders straight from the committed files
 //! ```
 //!
 //! Exit status: 0 clean, 1 regression or comparison error, 2 usage error.
@@ -40,6 +46,7 @@ struct Options {
     passes: usize,
     write: bool,
     spans: Option<PathBuf>,
+    history_html: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Option<Options>, String> {
@@ -51,6 +58,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         passes: 5,
         write: true,
         spans: None,
+        history_html: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +73,10 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--spans" => {
                 let v = args.next().ok_or("--spans needs a path")?;
                 opts.spans = Some(PathBuf::from(v));
+            }
+            "--history-html" => {
+                let v = args.next().ok_or("--history-html needs a path")?;
+                opts.history_html = Some(PathBuf::from(v));
             }
             "--tolerance" => {
                 let v = args.next().ok_or("--tolerance needs a value")?;
@@ -91,7 +103,8 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--help" | "-h" => {
                 println!(
                     "bench_guard [--check] [--dir PATH] [--tolerance F] [--quick] \
-                     [--passes K] [--no-write] [--spans FILE] [--version]"
+                     [--passes K] [--no-write] [--spans FILE] [--history-html FILE] \
+                     [--version]"
                 );
                 return Ok(None);
             }
@@ -101,7 +114,21 @@ fn parse_args() -> Result<Option<Options>, String> {
     Ok(Some(opts))
 }
 
+fn write_history_html(opts: &Options, path: &std::path::Path) -> Result<(), String> {
+    let html = seta_bench::history::history_page(&opts.dir, opts.tolerance)?;
+    std::fs::write(path, html).map_err(|e| format!("write {}: {e}", path.display()))?;
+    eprintln!("history report -> {}", path.display());
+    Ok(())
+}
+
 fn run(opts: &Options) -> Result<(), String> {
+    // `--history-html` with neither a check nor a write requested is a
+    // pure rendering pass over the committed baselines: skip measuring.
+    if let Some(path) = &opts.history_html {
+        if !opts.check && !opts.write {
+            return write_history_html(opts, path);
+        }
+    }
     // Resolve the baseline BEFORE measuring, so the file this run writes
     // can never be its own baseline.
     let baseline = if opts.check {
@@ -161,6 +188,12 @@ fn run(opts: &Options) -> Result<(), String> {
     if opts.write {
         let path = write_report(&opts.dir, &report)?;
         eprintln!("wrote {}", path.display());
+    }
+
+    // Render the trajectory after any write, so a freshly-written
+    // baseline shows up as the newest point on the charts.
+    if let Some(path) = &opts.history_html {
+        write_history_html(opts, path)?;
     }
 
     if let Some(baseline) = baseline {

@@ -8,7 +8,10 @@
 //!              run (one fully instrumented simulation)
 //!              explain (probe-level event tracing and cost attribution)
 //!              sweep (span-traced associativity sweep; --trace-out/--flame/--report/--threads)
-//!              diff a b (numeric artifact diff; exit 1 on probe divergence)
+//!              diff a b (numeric artifact diff; exit 1 on probe divergence;
+//!                        --html F renders the deltas as a colored table)
+//!              report (self-contained HTML dashboard; --out report.html,
+//!                      --bench-dir for the BENCH_<n>.json history)
 //!   --scale N        shrink the trace by N× (default 1 = full 8M references)
 //!   --seed S         workload seed (default the experiments' fixed seed)
 //!   --json           emit machine-readable JSON instead of text tables
@@ -53,6 +56,9 @@ struct Options {
     report: bool,
     threads: Option<usize>,
     diff_paths: Vec<String>,
+    out: Option<String>,
+    html: Option<String>,
+    bench_dir: String,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -78,6 +84,9 @@ fn parse_args() -> Result<Options, String> {
         report: false,
         threads: None,
         diff_paths: Vec::new(),
+        out: None,
+        html: None,
+        bench_dir: ".".into(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -120,6 +129,15 @@ fn parse_args() -> Result<Options, String> {
                 opts.flame = Some(args.next().ok_or("--flame needs a path")?);
             }
             "--report" => opts.report = true,
+            "--out" => {
+                opts.out = Some(args.next().ok_or("--out needs a path")?);
+            }
+            "--html" => {
+                opts.html = Some(args.next().ok_or("--html needs a path")?);
+            }
+            "--bench-dir" => {
+                opts.bench_dir = args.next().ok_or("--bench-dir needs a path")?;
+            }
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a value")?;
                 let t: usize = v.parse().map_err(|e| format!("bad --threads {v}: {e}"))?;
@@ -154,7 +172,10 @@ fn usage() -> String {
      sweep:      a span-traced associativity sweep\n\
      \x20        [--trace-out t.json] [--flame t.folded] [--report] [--threads N]\n\
      diff:       paper_tables diff a.jsonl b.jsonl — numeric artifact diff\n\
-     \x20        (exit 1 when probe accounting diverges)"
+     \x20        (exit 1 when probe accounting diverges; --html F for an HTML table)\n\
+     report:     one self-contained HTML dashboard (time series, explain,\n\
+     \x20        sweep utilization, BENCH_<n>.json trajectory)\n\
+     \x20        [--out report.html] [--bench-dir DIR] [--threads N]"
         .into()
 }
 
@@ -411,6 +432,95 @@ fn run_sweep(p: &ExperimentParams, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `paper_tables report`: one self-contained HTML dashboard over a fresh
+/// instrumented run of the figures hierarchy. Covers the per-strategy
+/// time series, the explain attribution, the sweep's outcomes and worker
+/// utilization, and the cross-run `BENCH_<n>.json` trajectory from
+/// `--bench-dir` — each section deep-linking the artifacts it summarizes.
+fn run_report(p: &ExperimentParams, opts: &Options) -> Result<(), String> {
+    use seta_obs::report::{sections, HtmlPage};
+    use seta_sim::report_html::{explain_section, sweep_outcomes_section, sweep_section};
+
+    let out_path = opts.out.as_deref().unwrap_or("report.html");
+    let preset = p.preset;
+    let l1 = preset.l1().map_err(|e| e.to_string())?;
+    let l2 = preset.l2(opts.assoc).map_err(|e| e.to_string())?;
+    let strategies = standard_strategies(opts.assoc, p.tag_bits);
+    let source = format!(
+        "synthetic:atum-like {}x{}",
+        p.trace.segments, p.trace.refs_per_segment
+    );
+
+    // One windowed, instrumented run for the time-series section.
+    let cfg = MeterConfig {
+        snapshot_every: 0,
+        progress: opts.progress,
+        progress_interval_secs: opts.progress_interval,
+        expected_refs: Some(p.trace.total_refs()),
+        window_refs: seta_obs::DEFAULT_WINDOW_REFS.min(p.trace.refs_per_segment.max(1)),
+    };
+    let run = simulate_instrumented(
+        l1,
+        l2,
+        AtumLike::new(p.trace.clone(), p.seed),
+        &strategies,
+        &source,
+        p.seed,
+        &cfg,
+        None::<&mut Vec<u8>>,
+    )
+    .map_err(|e| format!("instrumented run: {e}"))?;
+
+    // One explain pass for the attribution section.
+    let (explain_outcome, explain_report) = explain(
+        l1,
+        l2,
+        AtumLike::new(p.trace.clone(), p.seed),
+        &strategies,
+        &ExplainConfig::default(),
+    );
+
+    // The traced associativity sweep for the outcomes/utilization sections.
+    let specs: Vec<RunSpec> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&assoc| {
+            Ok(RunSpec {
+                l1,
+                l2: preset.l2(assoc).map_err(|e| e.to_string())?,
+                trace: p.trace.clone(),
+                seed: p.seed,
+                tag_bits: p.tag_bits,
+            })
+        })
+        .collect::<Result<_, String>>()?;
+    let (outcomes, trace) = match opts.threads {
+        Some(t) => simulate_many_traced_with_threads(&specs, t),
+        None => simulate_many_traced(&specs),
+    };
+    let sweep = SweepReport::from_trace(&trace);
+
+    // The cross-run benchmark trajectory from the committed baselines.
+    let history = seta_bench::history::load_history(std::path::Path::new(&opts.bench_dir))?;
+
+    let mut page = HtmlPage::new("seta report");
+    page.subtitle(format!(
+        "{source}, seed {}, scale {}, {}-way L2 focus",
+        p.seed, opts.scale, opts.assoc
+    ));
+    page.push(sections::manifest_section(
+        &run.manifest,
+        opts.metrics.as_deref(),
+    ));
+    page.push(sections::timeseries_section(&run.windows, None));
+    page.push(explain_section(&explain_outcome, &explain_report, None));
+    page.push(sweep_outcomes_section(&outcomes));
+    page.push(sweep_section(&sweep, opts.trace_out.as_deref()));
+    page.push(seta_bench::history::history_section(&history, 0.10));
+    std::fs::write(out_path, page.render()).map_err(|e| format!("write {out_path}: {e}"))?;
+    eprintln!("report -> {out_path}");
+    Ok(())
+}
+
 /// `paper_tables diff a b`: numeric comparison of two metrics artifacts.
 /// Exits non-zero when probe accounting diverges between the two runs.
 fn run_diff(opts: &Options) -> Result<bool, String> {
@@ -428,6 +538,12 @@ fn run_diff(opts: &Options) -> Result<bool, String> {
     let tb = std::fs::read_to_string(b).map_err(|e| format!("read {b}: {e}"))?;
     let report = seta_obs::diff_artifacts(&ta, &tb)?;
     print!("{}", report.render());
+    if let Some(path) = &opts.html {
+        let mut page = seta_obs::report::HtmlPage::new("seta artifact diff");
+        page.push(seta_obs::report::sections::diff_section(&report, a, b));
+        std::fs::write(path, page.render()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("diff report -> {path}");
+    }
     Ok(report.probe_divergence())
 }
 
@@ -572,10 +688,14 @@ fn main() -> ExitCode {
             }
         };
     }
-    if matches!(opts.experiment.as_str(), "run" | "explain" | "sweep") {
+    if matches!(
+        opts.experiment.as_str(),
+        "run" | "explain" | "sweep" | "report"
+    ) {
         let result = match opts.experiment.as_str() {
             "run" => run_instrumented(&p, &opts),
             "sweep" => run_sweep(&p, &opts),
+            "report" => run_report(&p, &opts),
             _ => run_explain(&p, &opts),
         };
         return match result {

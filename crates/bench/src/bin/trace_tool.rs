@@ -12,6 +12,7 @@
 //! trace_tool sim      <in> [same geometry flags as explain]
 //!                          [--window N] [--windows out.jsonl]
 //!                          [--trace-out out.perfetto.json]
+//!                          [--report-html out.html]
 //!
 //! Every command also accepts --metrics <out.jsonl> (write a final
 //! metrics/manifest snapshot; for explain, the full JSONL report),
@@ -59,7 +60,7 @@ fn usage() -> String {
      trace_tool explain <in> [--assoc A] [--tag-bits T] [--l1-size B] [--l1-block B]\n  \
      \x20                    [--l2-size B] [--l2-block B] [--sample-every N]\n  \
      trace_tool sim <in> [geometry flags] [--window N] [--windows out.jsonl]\n  \
-     \x20                [--trace-out out.perfetto.json]\n  \
+     \x20                [--trace-out out.perfetto.json] [--report-html out.html]\n  \
      trace_tool --version\n\
      every command also accepts --metrics <out.jsonl>, --progress and\n\
      --progress-interval <secs>; for explain, --metrics writes the JSONL report\n\
@@ -460,6 +461,7 @@ fn sim_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut window = seta_obs::DEFAULT_WINDOW_REFS;
     let mut windows_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut report_html: Option<String> = None;
     let mut obs = Obs::default();
     while let Some(a) = args.next() {
         if obs.consume(&a, &mut args)? {
@@ -483,6 +485,9 @@ fn sim_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             }
             "--trace-out" => {
                 trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+            }
+            "--report-html" => {
+                report_html = Some(args.next().ok_or("--report-html needs a path")?);
             }
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
@@ -530,6 +535,27 @@ fn sim_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             .write_perfetto("trace_tool sim", &mut f)
             .and_then(|()| f.flush())
             .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if let Some(path) = &report_html {
+        let mut page = seta_obs::report::HtmlPage::new("seta run report");
+        page.subtitle(format!(
+            "{input}: {} over {} ({}-way L2)",
+            run.outcome.l1_label, run.outcome.l2_label, run.outcome.assoc
+        ));
+        page.push(seta_obs::report::sections::manifest_section(
+            &run.manifest,
+            obs.metrics.as_deref(),
+        ));
+        page.push(seta_obs::report::sections::timeseries_section(
+            &run.windows,
+            windows_out.as_deref(),
+        ));
+        page.push(seta_obs::report::sections::spans_section(
+            &run.spans,
+            trace_out.as_deref(),
+        ));
+        std::fs::write(path, page.render()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("run report -> {path}");
     }
     let out = &run.outcome;
     println!(

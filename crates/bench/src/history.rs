@@ -1,0 +1,439 @@
+//! The cross-run benchmark history: every committed `BENCH_<n>.json`
+//! loaded in sequence, rendered as a performance-trajectory report.
+//!
+//! [`load_history`] is the strict counterpart of
+//! [`guard::load_report`](crate::guard::load_report): before the typed
+//! deserialize it checks `schema_version` explicitly, so an unknown or
+//! future baseline produces an error naming the file and version instead
+//! of an opaque serde message. [`history_page`] renders the loaded
+//! entries as one self-contained HTML page: wall ns/access and
+//! probes/access per benchmark across run numbers, with regression
+//! markers wherever a run exceeded the wall tolerance against its
+//! predecessor or changed a deterministic probe count. Runs in different
+//! modes (`full` vs `quick`) never compare, mirroring the guard itself.
+
+use crate::guard::{baseline_files, GuardReport, SCHEMA_VERSION};
+use seta_obs::report::svg::{LineChart, Marker, Series};
+use seta_obs::report::{Cell, HtmlPage, HtmlTable, Section};
+use std::path::{Path, PathBuf};
+
+/// One loaded `BENCH_<n>.json`.
+#[derive(Debug, Clone)]
+pub struct HistoryEntry {
+    /// The `<n>` of the file name — the run's position in the sequence.
+    pub n: u64,
+    /// Where the report was loaded from.
+    pub path: PathBuf,
+    /// The parsed report.
+    pub report: GuardReport,
+}
+
+/// Loads every `BENCH_<n>.json` in `dir`, in ascending `n` order, with a
+/// strict schema-version check: a file whose `schema_version` is missing
+/// or unsupported fails with a message naming the file and the version
+/// found, instead of a serde field error (or worse, a silently
+/// misinterpreted report).
+pub fn load_history(dir: &Path) -> Result<Vec<HistoryEntry>, String> {
+    let files = baseline_files(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut entries = Vec::with_capacity(files.len());
+    for (n, path) in files {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let value: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| format!("{}: not valid JSON: {e}", path.display()))?;
+        match value.get("schema_version").and_then(|v| v.as_u64()) {
+            Some(v) if v == u64::from(SCHEMA_VERSION) => {}
+            Some(v) => {
+                return Err(format!(
+                    "{}: unsupported BENCH schema version {v} (this build reads \
+                     version {SCHEMA_VERSION}); regenerate the baseline or upgrade",
+                    path.display()
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "{}: missing schema_version field (not a BENCH report?)",
+                    path.display()
+                ))
+            }
+        }
+        let report: GuardReport =
+            serde_json::from_value(value).map_err(|e| format!("{}: {e}", path.display()))?;
+        entries.push(HistoryEntry { n, path, report });
+    }
+    Ok(entries)
+}
+
+/// A regression found between two consecutive same-mode runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Run number of the offending entry.
+    pub n: u64,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Human-readable description of what moved.
+    pub detail: String,
+    /// Whether this was a deterministic probe-count change (always a
+    /// violation) rather than a wall-time excursion.
+    pub probe_change: bool,
+}
+
+/// Scans consecutive same-mode entries for wall-time regressions beyond
+/// `tolerance` and for any probe-count change, in run order.
+pub fn find_regressions(entries: &[HistoryEntry], tolerance: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for pair in entries.windows(2) {
+        let (prev, cur) = (&pair[0], &pair[1]);
+        if prev.report.mode != cur.report.mode {
+            continue;
+        }
+        for bench in &cur.report.benchmarks {
+            let Some(base) = prev.report.benchmark(&bench.name) else {
+                continue;
+            };
+            if bench.probes != base.probes {
+                out.push(Regression {
+                    n: cur.n,
+                    benchmark: bench.name.clone(),
+                    detail: format!(
+                        "probes changed {} -> {} (deterministic; zero tolerance)",
+                        base.probes, bench.probes
+                    ),
+                    probe_change: true,
+                });
+            }
+            if bench.wall_ns_per_access > base.wall_ns_per_access * (1.0 + tolerance) {
+                out.push(Regression {
+                    n: cur.n,
+                    benchmark: bench.name.clone(),
+                    detail: format!(
+                        "wall {:.2} -> {:.2} ns/access (+{:.0}%, tolerance {:.0}%)",
+                        base.wall_ns_per_access,
+                        bench.wall_ns_per_access,
+                        (bench.wall_ns_per_access / base.wall_ns_per_access - 1.0) * 100.0,
+                        tolerance * 100.0
+                    ),
+                    probe_change: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The sorted union of benchmark names across a group of entries.
+fn benchmark_names(entries: &[&HistoryEntry]) -> Vec<String> {
+    let mut names: Vec<String> = entries
+        .iter()
+        .flat_map(|e| e.report.benchmarks.iter().map(|b| b.name.clone()))
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+/// The benchmark-trajectory section: per-benchmark wall ns/access and
+/// probes/access across every committed run, one chart pair per mode
+/// (full and quick runs never share an axis), regression markers from
+/// [`find_regressions`], and a latest-vs-previous delta table.
+pub fn history_section(entries: &[HistoryEntry], tolerance: f64) -> Section {
+    let mut s = Section::new("trajectory", "Benchmark trajectory");
+    if entries.is_empty() {
+        s.note("no BENCH_<n>.json baselines found");
+        return s;
+    }
+    s.para(&format!(
+        "{} committed runs, BENCH_{}.json through BENCH_{}.json; wall-time \
+         regression markers at {:.0}% tolerance, probe changes always marked.",
+        entries.len(),
+        entries[0].n,
+        entries[entries.len() - 1].n,
+        tolerance * 100.0
+    ));
+    let regressions = find_regressions(entries, tolerance);
+
+    let mut modes: Vec<&str> = entries.iter().map(|e| e.report.mode.as_str()).collect();
+    modes.sort_unstable();
+    modes.dedup();
+    for mode in modes {
+        let group: Vec<&HistoryEntry> = entries.iter().filter(|e| e.report.mode == mode).collect();
+        let names = benchmark_names(&group);
+        let mut wall = LineChart::new(
+            &format!("Wall ns/access across runs ({mode} mode)"),
+            "run (BENCH_n)",
+            "ns/access",
+        );
+        let mut probes = LineChart::new(
+            &format!("Probes per access across runs ({mode} mode)"),
+            "run (BENCH_n)",
+            "probes/access",
+        );
+        probes.y_zero = true;
+        for name in &names {
+            let walls: Vec<(f64, f64)> = group
+                .iter()
+                .filter_map(|e| {
+                    e.report
+                        .benchmark(name)
+                        .map(|b| (e.n as f64, b.wall_ns_per_access))
+                })
+                .collect();
+            wall.series.push(Series::new(name.clone(), walls));
+            let ppa: Vec<(f64, f64)> = group
+                .iter()
+                .filter_map(|e| {
+                    e.report.benchmark(name).and_then(|b| {
+                        (b.probes > 0 && b.accesses > 0)
+                            .then(|| (e.n as f64, b.probes as f64 / b.accesses as f64))
+                    })
+                })
+                .collect();
+            if !ppa.is_empty() {
+                probes.series.push(Series::new(name.clone(), ppa));
+            }
+        }
+        for r in regressions
+            .iter()
+            .filter(|r| group.iter().any(|e| e.n == r.n && e.report.mode == mode))
+        {
+            let entry = group
+                .iter()
+                .find(|e| e.n == r.n)
+                .expect("regression points at a loaded entry");
+            let Some(bench) = entry.report.benchmark(&r.benchmark) else {
+                continue;
+            };
+            let label = format!("BENCH_{} {}: {}", r.n, r.benchmark, r.detail);
+            if r.probe_change {
+                if bench.accesses > 0 {
+                    probes.markers.push(Marker {
+                        x: r.n as f64,
+                        y: bench.probes as f64 / bench.accesses as f64,
+                        label,
+                    });
+                }
+            } else {
+                wall.markers.push(Marker {
+                    x: r.n as f64,
+                    y: bench.wall_ns_per_access,
+                    label,
+                });
+            }
+        }
+        s.push_html(&wall.svg());
+        if !probes.series.is_empty() {
+            s.push_html(&probes.svg());
+        }
+    }
+
+    if !regressions.is_empty() {
+        s.heading("Regression events");
+        let mut table = HtmlTable::new(&["run", "benchmark", "what moved"]);
+        for r in &regressions {
+            table.row(vec![
+                Cell::text(format!("BENCH_{}", r.n)),
+                Cell::text(r.benchmark.clone()),
+                Cell::classed(r.detail.clone(), if r.probe_change { "bad" } else { "pos" }),
+            ]);
+        }
+        s.table(&table);
+    }
+
+    // Latest run in detail, with deltas against its same-mode predecessor.
+    let latest = &entries[entries.len() - 1];
+    let prev = entries[..entries.len() - 1]
+        .iter()
+        .rev()
+        .find(|e| e.report.mode == latest.report.mode);
+    s.heading(&format!(
+        "Latest run: BENCH_{}.json ({} mode, git {})",
+        latest.n, latest.report.mode, latest.report.git_rev
+    ));
+    let mut table = HtmlTable::new(&[
+        "benchmark",
+        "ns/access",
+        "delta vs prev",
+        "probes",
+        "accesses",
+        "throughput/s",
+    ]);
+    for b in &latest.report.benchmarks {
+        let delta = prev.and_then(|p| p.report.benchmark(&b.name)).map(|base| {
+            if base.wall_ns_per_access > 0.0 {
+                (b.wall_ns_per_access / base.wall_ns_per_access - 1.0) * 100.0
+            } else {
+                0.0
+            }
+        });
+        table.row(vec![
+            Cell::text(b.name.clone()),
+            Cell::num(b.wall_ns_per_access),
+            match delta {
+                Some(d) if d > tolerance * 100.0 => Cell::classed(format!("{d:+.1}%"), "bad"),
+                Some(d) if d > 0.0 => Cell::classed(format!("{d:+.1}%"), "pos"),
+                Some(d) => Cell::classed(format!("{d:+.1}%"), "neg"),
+                None => Cell::text("-"),
+            },
+            Cell::int(b.probes),
+            Cell::int(b.accesses),
+            Cell::num(b.throughput),
+        ]);
+    }
+    s.table(&table);
+    for e in entries {
+        s.artifact(
+            &format!("BENCH_{}.json", e.n),
+            &e.path.display().to_string(),
+        );
+    }
+    s
+}
+
+/// Loads the history from `dir` and renders it as a complete
+/// self-contained page (`bench_guard --history-html`).
+pub fn history_page(dir: &Path, tolerance: f64) -> Result<String, String> {
+    let entries = load_history(dir)?;
+    let mut page = HtmlPage::new("seta benchmark history");
+    page.subtitle(format!(
+        "cross-run trajectory of every BENCH_<n>.json in {}",
+        dir.display()
+    ));
+    page.push(history_section(&entries, tolerance));
+    Ok(page.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::BenchRecord;
+    use seta_obs::report::validate_self_contained;
+    use seta_obs::RunManifest;
+
+    fn record(name: &str, wall: f64, probes: u64) -> BenchRecord {
+        BenchRecord {
+            name: name.to_owned(),
+            wall_ns_per_access: wall,
+            accesses: 1000,
+            probes,
+            throughput: 1e9 / wall,
+        }
+    }
+
+    fn report(mode: &str, benches: Vec<BenchRecord>) -> GuardReport {
+        GuardReport {
+            schema_version: SCHEMA_VERSION,
+            git_rev: "deadbee".into(),
+            created_unix: 0,
+            mode: mode.into(),
+            passes: 3,
+            sweep_threads: 2,
+            benchmarks: benches,
+            sharded_speedup: 1.5,
+            manifest: RunManifest::new("test"),
+        }
+    }
+
+    fn entry(n: u64, report: GuardReport) -> HistoryEntry {
+        HistoryEntry {
+            n,
+            path: PathBuf::from(format!("BENCH_{n}.json")),
+            report,
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("seta-history-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn unknown_schema_version_is_a_clear_error() {
+        let dir = tmp_dir("schema");
+        let path = dir.join("BENCH_1.json");
+        std::fs::write(&path, r#"{"schema_version": 99, "mode": "full"}"#).expect("write");
+        let err = load_history(&dir).expect_err("must reject");
+        assert!(err.contains("BENCH_1.json"), "error names the file: {err}");
+        assert!(
+            err.contains("unsupported BENCH schema version 99"),
+            "error names the version: {err}"
+        );
+        assert!(
+            err.contains(&format!("version {SCHEMA_VERSION}")),
+            "error names the supported version: {err}"
+        );
+
+        std::fs::write(&path, r#"{"benchmarks": []}"#).expect("write");
+        let err = load_history(&dir).expect_err("must reject");
+        assert!(err.contains("missing schema_version"), "{err}");
+
+        std::fs::write(&path, "not json").expect("write");
+        let err = load_history(&dir).expect_err("must reject");
+        assert!(err.contains("not valid JSON"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn history_round_trips_through_disk_in_order() {
+        let dir = tmp_dir("roundtrip");
+        for n in [2u64, 1, 3] {
+            let r = report("full", vec![record("lookup/mru", 10.0 + n as f64, 500)]);
+            std::fs::write(
+                dir.join(format!("BENCH_{n}.json")),
+                serde_json::to_string_pretty(&r).expect("serialize"),
+            )
+            .expect("write");
+        }
+        let entries = load_history(&dir).expect("load");
+        assert_eq!(
+            entries.iter().map(|e| e.n).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "ascending n order"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn regressions_flag_wall_and_probe_changes_only_within_mode() {
+        let entries = vec![
+            entry(1, report("full", vec![record("a", 10.0, 100)])),
+            // Quick run in between must not compare against either.
+            entry(2, report("quick", vec![record("a", 99.0, 7)])),
+            entry(3, report("full", vec![record("a", 10.4, 100)])),
+            entry(4, report("full", vec![record("a", 12.0, 101)])),
+        ];
+        let regs = find_regressions(&entries, 0.10);
+        assert_eq!(regs.len(), 2, "{regs:?}");
+        assert!(regs.iter().any(|r| r.probe_change && r.n == 4));
+        assert!(regs.iter().any(|r| !r.probe_change && r.n == 4));
+        // 10.0 -> 10.4 is inside the 10% tolerance.
+        assert!(regs.iter().all(|r| r.n != 3), "{regs:?}");
+    }
+
+    #[test]
+    fn history_section_renders_markers_and_modes() {
+        let entries = vec![
+            entry(1, report("full", vec![record("lookup/mru", 10.0, 100)])),
+            entry(2, report("full", vec![record("lookup/mru", 14.0, 100)])),
+            entry(3, report("quick", vec![record("lookup/mru", 2.0, 10)])),
+        ];
+        let mut page = HtmlPage::new("h");
+        page.push(history_section(&entries, 0.10));
+        let html = page.render();
+        assert!(html.contains("full mode"), "per-mode charts");
+        assert!(html.contains("quick mode"), "per-mode charts");
+        assert!(html.contains("Regression events"), "regression table");
+        assert!(html.contains("BENCH_2 lookup/mru"), "marker label");
+        validate_self_contained(&html).expect("well-formed");
+    }
+
+    #[test]
+    fn empty_history_degrades_to_a_note() {
+        let mut page = HtmlPage::new("h");
+        page.push(history_section(&[], 0.10));
+        let html = page.render();
+        assert!(html.contains("no BENCH"));
+        validate_self_contained(&html).expect("well-formed");
+    }
+}

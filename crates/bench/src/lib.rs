@@ -7,6 +7,9 @@
 //! * the `bench_guard` binary, the continuous-benchmarking regression gate
 //!   (see [`guard`]): deterministic median-of-k measurements written as
 //!   `BENCH_<n>.json`, checked against the committed baseline in CI;
+//! * the cross-run history loader and trajectory report (see [`history`]):
+//!   every committed `BENCH_<n>.json` rendered as a self-contained HTML
+//!   page with regression markers;
 //! * Criterion benches (`benches/tables.rs`, `benches/figures.rs`) that
 //!   time each experiment end-to-end on a scaled trace;
 //! * micro-benchmarks (`benches/micro.rs`) for the lookup strategies, tag
@@ -21,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod guard;
+pub mod history;
 
 use seta_sim::experiments::ExperimentParams;
 

@@ -1,0 +1,229 @@
+//! CLI contract tests for the HTML report paths: `paper_tables report`,
+//! `paper_tables diff --html`, `trace_tool sim --report-html`, and
+//! `bench_guard --history-html`. Every emitted page must be a single
+//! self-contained document ([`validate_self_contained`]) covering its
+//! advertised sections.
+
+use seta_obs::report::validate_self_contained;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn paper_tables(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_paper_tables"))
+        .args(args)
+        .output()
+        .expect("spawn paper_tables")
+}
+
+fn trace_tool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_trace_tool"))
+        .args(args)
+        .output()
+        .expect("spawn trace_tool")
+}
+
+fn bench_guard(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_guard"))
+        .args(args)
+        .output()
+        .expect("spawn bench_guard")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("seta-report-cli-{}-{name}", std::process::id()));
+    p
+}
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn tiny_trace() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../traces/tiny.din")
+}
+
+fn read_validated(path: &PathBuf) -> String {
+    let html = std::fs::read_to_string(path).expect("report file exists");
+    validate_self_contained(&html).expect("page is well-formed and self-contained");
+    html
+}
+
+#[test]
+fn paper_tables_report_emits_a_full_dashboard() {
+    let out_path = tmp("dashboard.html");
+    let out = paper_tables(&[
+        "report",
+        "--scale",
+        "2000",
+        "--threads",
+        "2",
+        "--bench-dir",
+        &fixture("history"),
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let html = read_validated(&out_path);
+    // The acceptance contract: time series, explain attribution, sweep
+    // utilization, and the BENCH trajectory with both baselines plotted.
+    for needle in [
+        "Windowed time series",
+        "Explain: probe attribution",
+        "Sweep worker utilization",
+        "Sweep outcomes",
+        "Benchmark trajectory",
+        "BENCH_1.json",
+        "BENCH_2.json",
+    ] {
+        assert!(html.contains(needle), "missing section {needle:?}");
+    }
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn paper_tables_report_rejects_bad_history_schema() {
+    let out_path = tmp("dashboard-bad.html");
+    let out = paper_tables(&[
+        "report",
+        "--scale",
+        "4000",
+        "--bench-dir",
+        &fixture("history_bad"),
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("unsupported BENCH schema version 99"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn trace_tool_sim_report_html_covers_the_run() {
+    let out_path = tmp("sim.html");
+    let windows = tmp("sim-windows.jsonl");
+    let out = trace_tool(&[
+        "sim",
+        tiny_trace(),
+        "--window",
+        "2000",
+        "--windows",
+        windows.to_str().unwrap(),
+        "--report-html",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let html = read_validated(&out_path);
+    for needle in ["Run manifest", "Windowed time series", "Span trace summary"] {
+        assert!(html.contains(needle), "missing section {needle:?}");
+    }
+    // The page deep-links the windows artifact it summarizes.
+    assert!(html.contains("sim-windows.jsonl"), "artifact link");
+    let _ = std::fs::remove_file(&out_path);
+    let _ = std::fs::remove_file(&windows);
+}
+
+#[test]
+fn bench_guard_history_html_renders_without_measuring() {
+    let out_path = tmp("history.html");
+    let out = bench_guard(&[
+        "--no-write",
+        "--dir",
+        &fixture("history"),
+        "--history-html",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let html = read_validated(&out_path);
+    assert!(html.contains("Benchmark trajectory"));
+    assert!(html.contains("BENCH_1.json") && html.contains("BENCH_2.json"));
+    // The fixtures encode a +25% wall regression and a probe change.
+    assert!(html.contains("Regression events"), "markers rendered");
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn bench_guard_history_html_fails_loudly_on_bad_schema() {
+    let out_path = tmp("history-bad.html");
+    let out = bench_guard(&[
+        "--no-write",
+        "--dir",
+        &fixture("history_bad"),
+        "--history-html",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("unsupported BENCH schema version 99") && err.contains("BENCH_1.json"),
+        "stderr: {err}"
+    );
+    assert!(!out_path.exists(), "no page written on error");
+}
+
+#[test]
+fn paper_tables_diff_html_renders_colored_deltas() {
+    let out_path = tmp("diff.html");
+    let out = paper_tables(&[
+        "diff",
+        &fixture("history/BENCH_1.json"),
+        &fixture("history/BENCH_2.json"),
+        "--html",
+        out_path.to_str().unwrap(),
+    ]);
+    // The fixtures differ in wall time and probes but `diff` exits by
+    // probe-divergence of *metrics-style* artifacts; either way the page
+    // must be written and well-formed.
+    let html = read_validated(&out_path);
+    assert!(html.contains("Artifact diff"));
+    assert!(html.contains("wall_ns_per_access"), "delta rows present");
+    assert!(
+        html.contains("class=\"pos\"") || html.contains("class=\"neg\""),
+        "colored cells present"
+    );
+    drop(out);
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn report_pages_escape_hostile_paths() {
+    // A trace path carrying markup must come out escaped in the page.
+    let evil_dir = tmp("evil <dir>");
+    std::fs::create_dir_all(&evil_dir).expect("mkdir");
+    let trace_path = evil_dir.join("t<i>.din");
+    std::fs::copy(tiny_trace(), &trace_path).expect("copy trace");
+    let out_path = tmp("evil.html");
+    let out = trace_tool(&[
+        "sim",
+        trace_path.to_str().unwrap(),
+        "--window",
+        "2000",
+        "--report-html",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let html = read_validated(&out_path);
+    assert!(!html.contains("t<i>.din"), "unescaped path in page");
+    assert!(html.contains("t&lt;i&gt;.din"), "escaped path present");
+    let _ = std::fs::remove_file(&out_path);
+    let _ = std::fs::remove_dir_all(&evil_dir);
+}

@@ -126,6 +126,7 @@ impl LookupStrategy for Banked {
     // measures ~5 ns/access more for the div_ceil form on the miss path
     // (its extra remainder + branch defeats the single-division codegen).
     #[allow(clippy::manual_div_ceil)]
+    #[inline]
     fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
         // Fast path on the whole-set equality bitmask: a frame-order scan
         // reduces to ctz/division, an MRU-order scan to the first order

@@ -272,6 +272,7 @@ impl PartialCompare {
 }
 
 impl LookupStrategy for PartialCompare {
+    #[inline]
     fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
         self.lookup_swar(view, tag)
     }

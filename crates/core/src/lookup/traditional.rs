@@ -36,6 +36,7 @@ impl Traditional {
 }
 
 impl LookupStrategy for Traditional {
+    #[inline]
     fn lookup(&self, view: &SetView, tag: u64) -> Lookup {
         // Branchless fast path: the whole-set equality bitmask plays the
         // role of the hardware's parallel comparators; `search` stays as

@@ -139,6 +139,7 @@ impl SetView {
     }
 
     /// Bitmask of valid ways: bit `w` set iff way `w` holds a block.
+    #[inline]
     pub fn valid_mask(&self) -> u32 {
         self.valid
     }
@@ -147,6 +148,7 @@ impl SetView {
     /// stored tag equals `tag`. This is the branchless core of the fast
     /// lookup paths — one pass of data-parallel compares, no early exits —
     /// so the compiler is free to vectorize it.
+    #[inline]
     pub fn eq_mask(&self, tag: u64) -> u32 {
         let mut m = 0u32;
         for (w, &t) in self.tags[..self.ways()].iter().enumerate() {
@@ -157,6 +159,7 @@ impl SetView {
 
     /// The way whose valid stored tag equals `tag`, if any. This is ground
     /// truth — what an oracle with free parallel compare would find.
+    #[inline]
     pub fn matching_way(&self, tag: u64) -> Option<u8> {
         (0..self.ways())
             .find(|&w| self.is_valid(w) && self.tags[w] == tag)

@@ -18,7 +18,10 @@
 //! * [`spans`] — hierarchical span tracing with Perfetto `trace_event`
 //!   and collapsed-stack flamegraph exporters;
 //! * [`timeseries`] — fixed-window series of miss ratio, probes/access
-//!   and MRU position-0 hit fraction per strategy.
+//!   and MRU position-0 hit fraction per strategy;
+//! * [`report`] — self-contained HTML report rendering: hand-rolled SVG
+//!   charts plus section builders over every artifact above, with all
+//!   untrusted text HTML-escaped and byte-deterministic output.
 //!
 //! The crate is a leaf: it knows nothing about caches or traces. The
 //! simulator's metered entry points (see `seta_sim::metered`) feed it,
@@ -30,6 +33,7 @@ mod registry;
 
 pub mod events;
 pub mod export;
+pub mod report;
 pub mod spans;
 pub mod timeseries;
 

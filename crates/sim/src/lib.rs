@@ -23,6 +23,8 @@
 //!   structured, serializable results and rendering a paper-style text
 //!   table.
 //! * [`report`] — plain-text table and CSV formatting.
+//! * [`report_html`] — HTML report sections for the explain and sweep
+//!   artifacts (`seta_obs::report` holds the renderer itself).
 //! * [`sweep_report`] — utilization analysis of a traced sweep
 //!   ([`runner::simulate_many_traced`]): per-worker busy fractions,
 //!   shard-size histograms, the critical-path shard and a load-balance
@@ -59,6 +61,7 @@ pub mod experiments;
 pub mod explain;
 pub mod metered;
 pub mod report;
+pub mod report_html;
 pub mod runner;
 pub mod sweep_report;
 
