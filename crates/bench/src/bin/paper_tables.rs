@@ -21,6 +21,8 @@
 //!   --progress-interval S  seconds between heartbeat lines (default 0.5)
 //!   --assoc A        L2 associativity for run/explain (default 4)
 //!   --prom F         write final Prometheus text exposition to F (run only)
+//!   --serve ADDR     serve the run live over HTTP (run/sweep; port 0 = ephemeral)
+//!   --serve-linger S keep serving the final state for S seconds after the run
 //! ```
 
 use seta_obs::RunManifest;
@@ -32,7 +34,8 @@ use seta_sim::experiments::{
 use seta_sim::explain::{explain, ExplainConfig};
 use seta_sim::metered::{simulate_instrumented, MeterConfig};
 use seta_sim::runner::{
-    simulate, simulate_many_traced, simulate_many_traced_with_threads, standard_strategies, RunSpec,
+    simulate, simulate_many_served, simulate_many_served_with_threads, simulate_many_traced,
+    simulate_many_traced_with_threads, standard_strategies, RunSpec,
 };
 use seta_sim::sweep_report::SweepReport;
 use seta_trace::gen::AtumLike;
@@ -59,6 +62,8 @@ struct Options {
     out: Option<String>,
     html: Option<String>,
     bench_dir: String,
+    serve: Option<String>,
+    serve_linger: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -87,6 +92,8 @@ fn parse_args() -> Result<Options, String> {
         out: None,
         html: None,
         bench_dir: ".".into(),
+        serve: None,
+        serve_linger: 0,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -146,6 +153,15 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.threads = Some(t);
             }
+            "--serve" => {
+                opts.serve = Some(args.next().ok_or("--serve needs an address")?);
+            }
+            "--serve-linger" => {
+                let v = args.next().ok_or("--serve-linger needs a value")?;
+                opts.serve_linger = v
+                    .parse()
+                    .map_err(|e| format!("bad --serve-linger {v}: {e}"))?;
+            }
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
             "--version" => {
@@ -158,13 +174,44 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
+    if opts.serve.is_none() && opts.serve_linger > 0 {
+        return Err("--serve-linger needs --serve".into());
+    }
     Ok(opts)
+}
+
+/// Binds the live monitoring server when `--serve` was given, announcing
+/// the resolved address (port 0 binds an ephemeral port).
+fn bind_server(opts: &Options, title: &str) -> Result<Option<seta_obs::Server>, String> {
+    let Some(addr) = &opts.serve else {
+        return Ok(None);
+    };
+    let server = seta_obs::Server::bind(addr.as_str()).map_err(|e| format!("serve {addr}: {e}"))?;
+    server.handle().set_title(title);
+    eprintln!("live monitor on http://{}/", server.local_addr());
+    Ok(Some(server))
+}
+
+/// Keeps the server's final state scrapeable for `--serve-linger` seconds,
+/// then shuts it down.
+fn linger_and_shutdown(server: Option<seta_obs::Server>, secs: u64) {
+    if let Some(server) = server {
+        if secs > 0 {
+            eprintln!(
+                "run finished; serving final state for {secs}s at http://{}/",
+                server.local_addr()
+            );
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+        }
+        server.shutdown();
+    }
 }
 
 fn usage() -> String {
     "usage: paper_tables <experiment> [--scale N] [--seed S] [--json|--csv]\n\
      \x20                   [--metrics out.jsonl] [--progress] [--progress-interval S]\n\
      \x20                   [--assoc A] [--prom out.prom]\n\
+     \x20                   [--serve addr:port] [--serve-linger S] (run/sweep)\n\
      paper:      table1 table2 fig3 fig4 fig5 fig6 table4 calibrate all\n\
      extensions: banked hashrehash warmth invalidation timing contention deep policy extensions\n\
      run:        one fully instrumented simulation of the figures hierarchy\n\
@@ -249,12 +296,14 @@ fn run_instrumented(p: &ExperimentParams, opts: &Options) -> Result<(), String> 
     let l1 = preset.l1().map_err(|e| e.to_string())?;
     let l2 = preset.l2(opts.assoc).map_err(|e| e.to_string())?;
     let strategies = standard_strategies(opts.assoc, p.tag_bits);
+    let server = bind_server(opts, "paper_tables run")?;
     let cfg = MeterConfig {
         snapshot_every: 100_000,
         progress: opts.progress,
         progress_interval_secs: opts.progress_interval,
         expected_refs: Some(p.trace.total_refs()),
         window_refs: seta_obs::DEFAULT_WINDOW_REFS,
+        serve: server.as_ref().map(|s| s.handle()),
     };
     let mut writer = match &opts.metrics {
         Some(path) => Some(BufWriter::new(
@@ -286,6 +335,7 @@ fn run_instrumented(p: &ExperimentParams, opts: &Options) -> Result<(), String> 
             "{}",
             serde_json::to_string_pretty(&run.outcome).expect("outcome serializes")
         );
+        linger_and_shutdown(server, opts.serve_linger);
         return Ok(());
     }
     let out = &run.outcome;
@@ -317,6 +367,7 @@ fn run_instrumented(p: &ExperimentParams, opts: &Options) -> Result<(), String> 
             None => String::new(),
         }
     );
+    linger_and_shutdown(server, opts.serve_linger);
     Ok(())
 }
 
@@ -376,9 +427,12 @@ fn run_sweep(p: &ExperimentParams, opts: &Options) -> Result<(), String> {
             })
         })
         .collect::<Result<_, String>>()?;
-    let (outcomes, trace) = match opts.threads {
-        Some(t) => simulate_many_traced_with_threads(&specs, t),
-        None => simulate_many_traced(&specs),
+    let server = bind_server(opts, "paper_tables sweep")?;
+    let (outcomes, trace) = match (opts.threads, server.as_ref().map(|s| s.handle())) {
+        (Some(t), Some(h)) => simulate_many_served_with_threads(&specs, t, h),
+        (None, Some(h)) => simulate_many_served(&specs, h),
+        (Some(t), None) => simulate_many_traced_with_threads(&specs, t),
+        (None, None) => simulate_many_traced(&specs),
     };
     if let Some(path) = &opts.trace_out {
         let mut f = BufWriter::new(File::create(path).map_err(|e| format!("create {path}: {e}"))?);
@@ -402,6 +456,14 @@ fn run_sweep(p: &ExperimentParams, opts: &Options) -> Result<(), String> {
     report.annotate(&mut manifest);
     if let Some(path) = &opts.metrics {
         write_experiment_manifest(path, &manifest)?;
+    }
+    if let Some(s) = &server {
+        // The sweep runner publishes progress as it goes; the annotated
+        // manifest and the done flag land once the utilization report
+        // exists, so the final scrape carries the whole story.
+        let handle = s.handle();
+        handle.publish_manifest(&manifest);
+        handle.finish_run();
     }
     if opts.json {
         println!(
@@ -429,6 +491,7 @@ fn run_sweep(p: &ExperimentParams, opts: &Options) -> Result<(), String> {
     if let Some(path) = &opts.trace_out {
         eprintln!("perfetto trace ({} spans) -> {path}", trace.len());
     }
+    linger_and_shutdown(server, opts.serve_linger);
     Ok(())
 }
 
@@ -458,6 +521,7 @@ fn run_report(p: &ExperimentParams, opts: &Options) -> Result<(), String> {
         progress_interval_secs: opts.progress_interval,
         expected_refs: Some(p.trace.total_refs()),
         window_refs: seta_obs::DEFAULT_WINDOW_REFS.min(p.trace.refs_per_segment.max(1)),
+        serve: None,
     };
     let run = simulate_instrumented(
         l1,

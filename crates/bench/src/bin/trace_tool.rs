@@ -13,6 +13,7 @@
 //!                          [--window N] [--windows out.jsonl]
 //!                          [--trace-out out.perfetto.json]
 //!                          [--report-html out.html]
+//!                          [--serve addr:port] [--serve-linger secs]
 //!
 //! Every command also accepts --metrics <out.jsonl> (write a final
 //! metrics/manifest snapshot; for explain, the full JSONL report),
@@ -61,6 +62,7 @@ fn usage() -> String {
      \x20                    [--l2-size B] [--l2-block B] [--sample-every N]\n  \
      trace_tool sim <in> [geometry flags] [--window N] [--windows out.jsonl]\n  \
      \x20                [--trace-out out.perfetto.json] [--report-html out.html]\n  \
+     \x20                [--serve addr:port] [--serve-linger secs]\n  \
      trace_tool --version\n\
      every command also accepts --metrics <out.jsonl>, --progress and\n\
      --progress-interval <secs>; for explain, --metrics writes the JSONL report\n\
@@ -462,6 +464,8 @@ fn sim_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut windows_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut report_html: Option<String> = None;
+    let mut serve_addr: Option<String> = None;
+    let mut serve_linger = 0u64;
     let mut obs = Obs::default();
     while let Some(a) = args.next() {
         if obs.consume(&a, &mut args)? {
@@ -489,22 +493,52 @@ fn sim_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             "--report-html" => {
                 report_html = Some(args.next().ok_or("--report-html needs a path")?);
             }
+            "--serve" => {
+                serve_addr = Some(args.next().ok_or("--serve needs an address")?);
+            }
+            "--serve-linger" => {
+                serve_linger = parse_u64(&mut args, "--serve-linger")?;
+            }
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
     if !assoc.is_power_of_two() {
         return Err("--assoc must be a power of two".into());
     }
+    if serve_addr.is_none() && serve_linger > 0 {
+        return Err("--serve-linger needs --serve".into());
+    }
     let l1 = CacheConfig::direct_mapped(l1_size, l1_block).map_err(|e| e.to_string())?;
     let l2 = CacheConfig::new(l2_size, l2_block, assoc).map_err(|e| e.to_string())?;
     let events = read_events(Path::new(&input))?;
     let strategies = standard_strategies(assoc, tag_bits);
+    let server = match &serve_addr {
+        Some(addr) => {
+            let server =
+                seta_obs::Server::bind(addr.as_str()).map_err(|e| format!("serve {addr}: {e}"))?;
+            server
+                .handle()
+                .set_title(&format!("trace_tool sim {input}"));
+            // Port 0 binds an ephemeral port; announce the resolved one.
+            eprintln!("live monitor on http://{}/", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+    // The trace is fully in memory, so the heartbeat (and the live
+    // dashboard) can show percentage and ETA: count the processor
+    // references up front (flushes are barriers, not refs).
+    let expected_refs = events
+        .iter()
+        .filter(|e| !matches!(e, TraceEvent::Flush))
+        .count() as u64;
     let cfg = MeterConfig {
         snapshot_every: 100_000,
         progress: obs.progress,
         progress_interval_secs: obs.progress_interval,
-        expected_refs: None,
+        expected_refs: Some(expected_refs),
         window_refs: window,
+        serve: server.as_ref().map(|s| s.handle()),
     };
     let mut writer = match &obs.metrics {
         Some(path) => Some(BufWriter::new(
@@ -577,6 +611,16 @@ fn sim_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             run.windows.len(),
             window
         );
+    }
+    if let Some(server) = server {
+        if serve_linger > 0 {
+            eprintln!(
+                "run finished; serving final state for {serve_linger}s at http://{}/",
+                server.local_addr()
+            );
+            std::thread::sleep(std::time::Duration::from_secs(serve_linger));
+        }
+        server.shutdown();
     }
     Ok(())
 }

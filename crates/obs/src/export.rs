@@ -75,6 +75,22 @@ fn split_labels(name: &str) -> (&str, &str) {
     }
 }
 
+/// Renders a gauge value in the exposition format's spelling: Rust's
+/// `{}` would print `NaN`/`inf`/`-inf`, but Prometheus parsers require
+/// the literal tokens `NaN`, `+Inf` and `-Inf`. Finite values keep
+/// Rust's shortest-roundtrip formatting.
+fn fmt_prom_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
 /// Renders the registry in the Prometheus text exposition format.
 ///
 /// Registry names may carry a `{label="value"}` suffix (see
@@ -99,7 +115,7 @@ pub fn prometheus_text(registry: &MetricsRegistry) -> String {
             out.push_str(&format!("# TYPE {base} gauge\n"));
             typed_gauges.push(base);
         }
-        out.push_str(&format!("{base}{labels} {v}\n"));
+        out.push_str(&format!("{base}{labels} {}\n", fmt_prom_value(v)));
     }
     let mut typed_hists: Vec<&str> = Vec::new();
     for (name, h) in registry.histograms() {
@@ -360,6 +376,69 @@ mod tests {
         assert!(text.contains("probe_count_bucket{le=\"+Inf\"} 4"), "{text}");
         assert!(text.contains("probe_count_sum 9"), "{text}");
         assert!(text.contains("probe_count_count 4"), "{text}");
+    }
+
+    #[test]
+    fn non_finite_gauges_use_exposition_format_spellings() {
+        let mut m = MetricsRegistry::new();
+        let g = m.gauge("nan_gauge");
+        m.set_gauge(g, f64::NAN);
+        let g = m.gauge("pos_inf_gauge");
+        m.set_gauge(g, f64::INFINITY);
+        let g = m.gauge("neg_inf_gauge");
+        m.set_gauge(g, f64::NEG_INFINITY);
+        let g = m.gauge(&labeled("ratio", "strategy", "mru"));
+        m.set_gauge(g, f64::NAN);
+        let text = prometheus_text(&m);
+        assert_eq!(
+            text,
+            "# TYPE nan_gauge gauge\n\
+             nan_gauge NaN\n\
+             # TYPE pos_inf_gauge gauge\n\
+             pos_inf_gauge +Inf\n\
+             # TYPE neg_inf_gauge gauge\n\
+             neg_inf_gauge -Inf\n\
+             # TYPE ratio gauge\n\
+             ratio{strategy=\"mru\"} NaN\n"
+        );
+        // Rust's own `{}` spellings never leak through as values.
+        for line in text.lines() {
+            assert!(!line.ends_with("inf"), "{line}");
+            assert!(!line.ends_with("nan"), "{line}");
+        }
+    }
+
+    #[test]
+    fn histogram_exposition_is_exact_including_plus_inf() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("probe_count");
+        for v in [1u64, 1, 2, 5] {
+            m.observe(h, v);
+        }
+        assert_eq!(
+            prometheus_text(&m),
+            "# TYPE probe_count histogram\n\
+             probe_count_bucket{le=\"1\"} 2\n\
+             probe_count_bucket{le=\"2\"} 3\n\
+             probe_count_bucket{le=\"4\"} 3\n\
+             probe_count_bucket{le=\"8\"} 4\n\
+             probe_count_bucket{le=\"+Inf\"} 4\n\
+             probe_count_sum 9\n\
+             probe_count_count 4\n"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_still_renders_inf_bucket_sum_and_count() {
+        let mut m = MetricsRegistry::new();
+        m.histogram("never_observed");
+        assert_eq!(
+            prometheus_text(&m),
+            "# TYPE never_observed histogram\n\
+             never_observed_bucket{le=\"+Inf\"} 0\n\
+             never_observed_sum 0\n\
+             never_observed_count 0\n"
+        );
     }
 
     #[test]

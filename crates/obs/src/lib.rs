@@ -21,7 +21,12 @@
 //!   and MRU position-0 hit fraction per strategy;
 //! * [`report`] — self-contained HTML report rendering: hand-rolled SVG
 //!   charts plus section builders over every artifact above, with all
-//!   untrusted text HTML-escaped and byte-deterministic output.
+//!   untrusted text HTML-escaped and byte-deterministic output;
+//! * [`serve`] — a zero-dependency live monitoring HTTP server:
+//!   `/metrics` Prometheus scrapes, `/events` SSE streaming of window
+//!   rows and heartbeats, and an auto-refreshing dashboard at `/`, all
+//!   fed through a cloneable [`ServeHandle`] that can never block the
+//!   simulation.
 //!
 //! The crate is a leaf: it knows nothing about caches or traces. The
 //! simulator's metered entry points (see `seta_sim::metered`) feed it,
@@ -34,6 +39,7 @@ mod registry;
 pub mod events;
 pub mod export;
 pub mod report;
+pub mod serve;
 pub mod spans;
 pub mod timeseries;
 
@@ -44,6 +50,7 @@ pub use export::{diff_artifacts, DiffReport, DiffRow};
 pub use manifest::{PhaseSpan, RunManifest, TraceIdentity};
 pub use progress::Progress;
 pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, Log2Histogram, MetricsRegistry};
+pub use serve::{ServeHandle, ServeHeartbeat, Server};
 pub use spans::{validate_perfetto, SpanBuffer, SpanClock, SpanId, SpanRecord, SpanTrace};
 pub use timeseries::{StrategyWindow, WindowRecord, WindowSeries, DEFAULT_WINDOW_REFS};
 

@@ -114,9 +114,20 @@ impl Progress {
 
     fn report(&mut self) {
         self.last_report = Instant::now();
+        let line = self.heartbeat_line();
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{line}");
+    }
+
+    /// The heartbeat line [`report`](Self::report) prints. Elapsed time
+    /// and rate appear on every line — an open-ended run (`total` is
+    /// `None`, as for file-borne traces of unknown length) still shows
+    /// how long it has been working and how fast; a known total adds the
+    /// percentage and ETA columns.
+    fn heartbeat_line(&self) -> String {
         let elapsed = self.started.elapsed().as_secs_f64();
         let mut line = format!(
-            "[{}] {} refs, {}/s",
+            "[{}] {} refs, {elapsed:.1}s, {}/s",
             self.label,
             self.done,
             rate(self.done, elapsed)
@@ -135,8 +146,7 @@ impl Progress {
         if let Some(workers) = self.active_workers {
             line.push_str(&format!(", workers {workers}"));
         }
-        let mut err = std::io::stderr().lock();
-        let _ = writeln!(err, "{line}");
+        line
     }
 }
 
@@ -212,5 +222,31 @@ mod tests {
             p.tick(10_000);
         }
         assert_eq!(p.done(), 30_000);
+    }
+
+    #[test]
+    fn open_ended_heartbeats_still_carry_elapsed_and_rate() {
+        let mut p = Progress::new("open", None);
+        p.tick(5_000);
+        let line = p.heartbeat_line();
+        assert!(line.starts_with("[open] 5000 refs, "), "{line}");
+        assert!(line.contains("s, "), "elapsed column missing: {line}");
+        assert!(line.contains("/s"), "rate column missing: {line}");
+        assert!(!line.contains('%'), "no percentage without a total: {line}");
+        assert!(!line.contains("ETA"), "no ETA without a total: {line}");
+    }
+
+    #[test]
+    fn known_total_heartbeats_add_percentage_and_eta() {
+        let mut p = Progress::new("sim", Some(10_000));
+        p.tick(2_500);
+        let line = p.heartbeat_line();
+        assert!(line.contains("25.0%"), "{line}");
+        assert!(line.contains("ETA "), "{line}");
+        // Done and beyond: percentage but no ETA.
+        p.tick(7_500);
+        let line = p.heartbeat_line();
+        assert!(line.contains("100.0%"), "{line}");
+        assert!(!line.contains("ETA"), "{line}");
     }
 }

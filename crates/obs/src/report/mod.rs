@@ -299,6 +299,7 @@ pub struct HtmlPage {
     title: String,
     subtitle: Option<String>,
     sections: Vec<Section>,
+    refresh_secs: Option<u64>,
 }
 
 impl HtmlPage {
@@ -308,12 +309,22 @@ impl HtmlPage {
             title: title.into(),
             subtitle: None,
             sections: Vec::new(),
+            refresh_secs: None,
         }
     }
 
     /// Sets a dimmed subtitle line under the title (escaped).
     pub fn subtitle(&mut self, text: impl Into<String>) {
         self.subtitle = Some(text.into());
+    }
+
+    /// Switches the page into live mode: the rendered head carries a
+    /// `<meta http-equiv="refresh">` so browsers re-fetch every `secs`
+    /// seconds with zero JavaScript. A live page fails
+    /// [`validate_self_contained`] by design (static reports must never
+    /// self-refresh); validate it with [`validate_live_page`] instead.
+    pub fn live_refresh(&mut self, secs: u64) {
+        self.refresh_secs = Some(secs.max(1));
     }
 
     /// Appends a section.
@@ -327,6 +338,11 @@ impl HtmlPage {
         let mut out = String::with_capacity(16 * 1024);
         out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n");
         out.push_str("<meta charset=\"utf-8\">\n");
+        if let Some(secs) = self.refresh_secs {
+            out.push_str(&format!(
+                "<meta http-equiv=\"refresh\" content=\"{secs}\">\n"
+            ));
+        }
         out.push_str(&format!("<title>{}</title>\n", escape_html(&self.title)));
         out.push_str(&format!("<style>{STYLE}</style>\n"));
         out.push_str("</head>\n<body>\n");
@@ -364,6 +380,11 @@ pub fn validate_self_contained(html: &str) -> Result<usize, String> {
     let lower = html.to_lowercase();
     if !lower.starts_with("<!doctype html>") {
         return Err("missing <!DOCTYPE html> prologue".into());
+    }
+    if lower.contains(REFRESH_MARKER) {
+        return Err("meta refresh found — static reports must not self-refresh \
+                    (use validate_live_page for live pages)"
+            .into());
     }
     for needle in ["<script", " src=", "url(", "@import", "<iframe", "<img"] {
         if lower.contains(needle) {
@@ -423,6 +444,35 @@ pub fn validate_self_contained(html: &str) -> Result<usize, String> {
         return Err(format!("unclosed <{open}>"));
     }
     Ok(checked)
+}
+
+/// The one marker that distinguishes a live page from a static report.
+const REFRESH_MARKER: &str = "<meta http-equiv=\"refresh\"";
+
+/// [`validate_self_contained`] for live dashboard pages: identical checks
+/// (balanced tags, no scripts, no external resources), except that
+/// exactly one `<meta http-equiv="refresh">` element — the auto-refresh
+/// strip [`HtmlPage::live_refresh`] injects — is required and permitted.
+pub fn validate_live_page(html: &str) -> Result<usize, String> {
+    // Byte-index over `html` itself (not a lowercased copy, whose byte
+    // offsets can drift on non-ASCII titles); the renderer always emits
+    // the marker in this exact casing.
+    let first = match html.find(REFRESH_MARKER) {
+        Some(i) => i,
+        None => return Err("live page is missing its meta refresh".into()),
+    };
+    if html[first + REFRESH_MARKER.len()..].contains(REFRESH_MARKER) {
+        return Err("more than one meta refresh found".into());
+    }
+    let end = first
+        + html[first..]
+            .find('>')
+            .ok_or("unterminated meta refresh tag")?
+        + 1;
+    let mut stripped = String::with_capacity(html.len());
+    stripped.push_str(&html[..first]);
+    stripped.push_str(&html[end..]);
+    validate_self_contained(&stripped)
 }
 
 #[cfg(test)]
@@ -489,6 +539,49 @@ mod tests {
         assert!(validate_self_contained(ext).is_err(), "external href");
         let img = "<!DOCTYPE html>\n<html><body><img src=\"x.png\"></body></html>";
         assert!(validate_self_contained(img).is_err(), "img src");
+    }
+
+    #[test]
+    fn live_pages_validate_only_in_live_mode() {
+        let mut page = HtmlPage::new("live");
+        let mut s = Section::new("a", "A");
+        s.para("running");
+        page.push(s);
+        // Static mode: self-contained, but not a live page.
+        let static_html = page.render();
+        assert!(validate_self_contained(&static_html).is_ok());
+        assert!(validate_live_page(&static_html).is_err(), "no refresh meta");
+        // Live mode: the refresh meta flips which validator accepts it.
+        page.live_refresh(2);
+        let live_html = page.render();
+        assert!(live_html.contains("<meta http-equiv=\"refresh\" content=\"2\">"));
+        let err = validate_self_contained(&live_html).unwrap_err();
+        assert!(err.contains("refresh"), "{err}");
+        let n = validate_live_page(&live_html).expect("live page validates");
+        assert!(n > 10);
+    }
+
+    #[test]
+    fn live_validator_rejects_double_refresh_and_external_content() {
+        let double = "<!DOCTYPE html>\n<html><head>\
+            <meta http-equiv=\"refresh\" content=\"1\">\
+            <meta http-equiv=\"refresh\" content=\"2\">\
+            </head><body></body></html>";
+        assert!(validate_live_page(double).is_err());
+        let scripted = "<!DOCTYPE html>\n<html><head>\
+            <meta http-equiv=\"refresh\" content=\"1\">\
+            </head><body><script>x()</script></body></html>";
+        assert!(
+            validate_live_page(scripted).is_err(),
+            "scripts still banned"
+        );
+    }
+
+    #[test]
+    fn live_refresh_clamps_to_at_least_one_second() {
+        let mut page = HtmlPage::new("t");
+        page.live_refresh(0);
+        assert!(page.render().contains("content=\"1\""));
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Minimal HTTP/1.1 request parsing and response assembly.
+//!
+//! Just enough protocol for the monitoring endpoints: `GET` with a path,
+//! headers read and discarded, every response `Connection: close`. The
+//! parser is deliberately hostile-input-first — an oversized header block,
+//! a garbage request line or an unsupported method each map to a specific
+//! 4xx without allocating proportionally to attacker input.
+
+use std::io::{self, Read};
+
+/// Hard cap on the request head (request line + headers). Monitoring
+/// clients send a few hundred bytes; anything larger is rejected with
+/// `431 Request Header Fields Too Large` before buffering more.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method, as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request path with any `?query` stripped.
+    pub path: String,
+}
+
+/// Why a request could not be served.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The request head exceeded [`MAX_REQUEST_BYTES`] → 431.
+    TooLarge,
+    /// The request line was not `METHOD SP PATH SP HTTP/…` → 400.
+    Malformed,
+    /// The socket failed or timed out before a full head arrived.
+    Io(io::Error),
+}
+
+/// Reads one request head from `stream` and parses its request line.
+///
+/// Reads until the blank line ending the header block (`\r\n\r\n`, or the
+/// lenient `\n\n`), never buffering more than [`MAX_REQUEST_BYTES`].
+///
+/// # Errors
+///
+/// [`RequestError::TooLarge`] when the cap is hit, [`RequestError::Malformed`]
+/// for an unparseable request line, [`RequestError::Io`] on socket errors
+/// (including read timeouts) or EOF before the head completes.
+pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, RequestError> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk).map_err(RequestError::Io)?;
+        if n == 0 {
+            return Err(RequestError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before request head",
+            )));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        if head_complete(&buf) {
+            break;
+        }
+    }
+    parse_request_line(&buf).ok_or(RequestError::Malformed)
+}
+
+fn head_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+fn parse_request_line(buf: &[u8]) -> Option<Request> {
+    let head = std::str::from_utf8(buf).ok()?;
+    let line = head.lines().next()?;
+    let mut parts = line.split(' ');
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if method.is_empty()
+        || target.is_empty()
+        || !target.starts_with('/')
+        || !version.starts_with("HTTP/")
+        || parts.next().is_some()
+    {
+        return None;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Some(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+    })
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Assembles a complete response with a body, `Content-Length`, and
+/// `Connection: close`, plus any extra headers.
+pub fn response(
+    code: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nCache-Control: no-store\r\nConnection: close\r\n",
+        status_text(code),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// A plain-text error response.
+pub fn error_response(code: u16, detail: &str) -> Vec<u8> {
+    let body = format!("{} {}\n{detail}\n", code, status_text(code));
+    let extra: &[(&str, &str)] = if code == 405 {
+        &[("Allow", "GET")]
+    } else {
+        &[]
+    };
+    response(code, "text/plain; charset=utf-8", extra, body.as_bytes())
+}
+
+/// The response head that opens a server-sent-events stream (the body is
+/// unbounded, so there is no `Content-Length`).
+pub fn sse_head() -> Vec<u8> {
+    b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n"
+        .to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, RequestError> {
+        let mut cursor = io::Cursor::new(bytes.to_vec());
+        read_request(&mut cursor)
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let req = parse(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+    }
+
+    #[test]
+    fn strips_query_strings() {
+        let req = parse(b"GET /events?retry=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/events");
+    }
+
+    #[test]
+    fn non_get_methods_still_parse() {
+        // Routing (not parsing) rejects them with 405.
+        let req = parse(b"POST / HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "POST");
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected() {
+        let mut bytes = b"GET / HTTP/1.1\r\n".to_vec();
+        bytes.extend(std::iter::repeat(b'a').take(MAX_REQUEST_BYTES + 1));
+        assert!(matches!(parse(&bytes), Err(RequestError::TooLarge)));
+    }
+
+    #[test]
+    fn garbage_request_lines_are_malformed() {
+        for bad in [
+            &b"NOT-HTTP\r\n\r\n"[..],
+            &b"GET metrics HTTP/1.1\r\n\r\n"[..], // no leading slash
+            &b"GET /x SP HTTP/1.1 extra\r\n\r\n"[..], // too many fields
+            &b"GET / FTP/1.0\r\n\r\n"[..],        // wrong protocol
+            &b"\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(parse(bad), Err(RequestError::Malformed)),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn eof_before_blank_line_is_an_io_error() {
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\n"),
+            Err(RequestError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let bytes = response(200, "text/plain", &[], b"hi");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nhi"), "{text}");
+    }
+
+    #[test]
+    fn method_not_allowed_advertises_get() {
+        let text = String::from_utf8(error_response(405, "POST")).unwrap();
+        assert!(text.contains("Allow: GET\r\n"), "{text}");
+        assert!(text.contains("405 Method Not Allowed"), "{text}");
+    }
+
+    #[test]
+    fn sse_head_has_no_content_length() {
+        let text = String::from_utf8(sse_head()).unwrap();
+        assert!(text.contains("text/event-stream"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+    }
+}

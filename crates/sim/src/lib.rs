@@ -69,7 +69,7 @@ pub use config::HierarchyPreset;
 pub use explain::{explain, explain_traced, ExplainConfig, ExplainReport};
 pub use metered::{simulate_instrumented, MeterConfig, MeteredRun};
 pub use runner::{
-    simulate, simulate_many_traced, simulate_traced, standard_strategies, RunOutcome,
-    StrategyResult,
+    simulate, simulate_many_served, simulate_many_traced, simulate_traced, standard_strategies,
+    RunOutcome, StrategyResult,
 };
 pub use sweep_report::{SweepReport, WorkerUtilization};

@@ -22,7 +22,7 @@ use seta_obs::export::{final_snapshot_line, snapshot_line};
 use seta_obs::timeseries::{WindowRecord, WindowSeries, DEFAULT_WINDOW_REFS};
 use seta_obs::{
     labeled, CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, Progress, RunManifest,
-    SpanBuffer, SpanClock, SpanTrace,
+    ServeHandle, ServeHeartbeat, SpanBuffer, SpanClock, SpanTrace,
 };
 use seta_trace::TraceEvent;
 use std::io::{self, Write};
@@ -45,6 +45,13 @@ pub struct MeterConfig {
     /// References per time-series window (see
     /// [`WindowSeries`]); 0 disables the windowed series.
     pub window_refs: u64,
+    /// Publish the run live to a monitoring server (see
+    /// [`seta_obs::serve`]): registry snapshots and heartbeats at every
+    /// snapshot boundary, window rows as they close, the manifest, and a
+    /// final `finish_run` so the last scrape equals the written artifact.
+    /// `None` (the default) leaves the hot path exactly as it was — the
+    /// handle is only consulted at snapshot and window boundaries.
+    pub serve: Option<ServeHandle>,
 }
 
 impl Default for MeterConfig {
@@ -55,6 +62,7 @@ impl Default for MeterConfig {
             progress_interval_secs: None,
             expected_refs: None,
             window_refs: DEFAULT_WINDOW_REFS,
+            serve: None,
         }
     }
 }
@@ -281,6 +289,22 @@ impl L2Observer for Meter<'_> {
     }
 }
 
+/// The heartbeat the sequential instrumented loop publishes to a live
+/// server: one worker, rate derived from the wall clock.
+fn live_heartbeat(refs: u64, wall_seconds: f64, window_miss_ratio: Option<f64>) -> ServeHeartbeat {
+    ServeHeartbeat {
+        refs,
+        wall_seconds,
+        refs_per_second: if wall_seconds > 0.0 {
+            refs as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        window_miss_ratio,
+        active_workers: Some(1),
+    }
+}
+
 /// Counts L1 outcomes through the hierarchy's [`MetricsSink`] hook.
 #[derive(Default)]
 struct RefSink {
@@ -370,6 +394,13 @@ where
     } else {
         cfg.snapshot_every
     };
+    // Window rows already handed to the live server; rows the series
+    // closes later are published as the loop passes each close site.
+    let mut published_windows = 0usize;
+    if let Some(h) = cfg.serve.as_ref() {
+        h.publish_manifest(&manifest);
+        h.publish_registry(&meter.registry);
+    }
 
     for event in events {
         events_seen += 1;
@@ -389,6 +420,12 @@ where
                     p.set_window_miss_ratio(w.last_window_miss_ratio());
                 }
             }
+            if let (Some(h), Some(w)) = (cfg.serve.as_ref(), meter.windows.as_ref()) {
+                for row in &w.closed()[published_windows..] {
+                    h.publish_window(row);
+                }
+                published_windows = w.closed().len();
+            }
             span_buf.close(seg_span);
             segment += 1;
             segment_guard = manifest.begin_phase(&format!("segment-{segment}"));
@@ -404,21 +441,37 @@ where
                 }
             }
         }
+        if let (Some(h), Some(w)) = (cfg.serve.as_ref(), meter.windows.as_ref()) {
+            for row in &w.closed()[published_windows..] {
+                h.publish_window(row);
+            }
+            published_windows = w.closed().len();
+        }
         if let Some(p) = progress.as_mut() {
             p.tick(1);
         }
         let refs = hierarchy.stats().processor_refs;
         if refs >= next_snapshot {
             next_snapshot = refs + cfg.snapshot_every;
-            if let Some(out) = metrics_out.as_deref_mut() {
+            if metrics_out.is_some() || cfg.serve.is_some() {
                 meter.sync(
                     hierarchy.stats(),
                     sink.l1_hits,
                     started.elapsed().as_secs_f64(),
                 );
+            }
+            if let Some(out) = metrics_out.as_deref_mut() {
                 writeln!(out, "{}", snapshot_line(&meter.registry, seq, refs))?;
                 seq += 1;
                 snapshots += 1;
+            }
+            if let Some(h) = cfg.serve.as_ref() {
+                h.publish_registry(&meter.registry);
+                let miss = meter
+                    .windows
+                    .as_ref()
+                    .and_then(|w| w.last_window_miss_ratio());
+                h.publish_heartbeat(&live_heartbeat(refs, started.elapsed().as_secs_f64(), miss));
             }
         }
     }
@@ -462,6 +515,21 @@ where
         )?;
         snapshots += 1;
         out.flush()?;
+    }
+    if let Some(h) = cfg.serve.as_ref() {
+        // End-of-run ordering matters for the acceptance check "the final
+        // scrape equals the written artifact": authoritative registry
+        // first, then every window row not yet streamed (including the
+        // trailing partial window `finish` appends), then the manifest
+        // with its trace identity, then the closing heartbeat.
+        h.publish_registry(&registry);
+        for row in &windows[published_windows..] {
+            h.publish_window(row);
+        }
+        h.publish_manifest(&manifest);
+        let miss = windows.last().and_then(WindowRecord::miss_ratio);
+        h.publish_heartbeat(&live_heartbeat(refs, started.elapsed().as_secs_f64(), miss));
+        h.finish_run();
     }
     let outcome = assemble_outcome(&hierarchy, scorer, strategies);
     Ok(MeteredRun {

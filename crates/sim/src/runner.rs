@@ -9,8 +9,10 @@ use seta_core::lookup::{
 };
 use seta_core::packed::LaneSpec;
 use seta_core::{model, MruDistanceHistogram, ProbeStats, SetView};
-use seta_obs::{SpanBuffer, SpanClock, SpanId, SpanTrace};
+use seta_obs::{labeled, ServeHandle, ServeHeartbeat, SpanBuffer, SpanClock, SpanId, SpanTrace};
 use seta_trace::TraceEvent;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Probe results for one strategy over one run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -679,6 +681,128 @@ impl SweepTracer for SweepSpanTracer {
     }
 }
 
+/// The live-monitoring tracer behind [`simulate_many_served`].
+///
+/// Wraps [`SweepSpanTracer`] — a served sweep still yields the span trace —
+/// and additionally publishes sweep progress to a [`ServeHandle`]:
+/// `sweep_shards_total`/`sweep_workers` gauges at start, running
+/// `sweep_shards_done_total`/`sweep_refs_total`/`sweep_probes_total`
+/// counters, a per-worker `sweep_worker_busy{worker="N"}` gauge flipped
+/// around every shard plus a `sweep_worker_shards_total{worker="N"}`
+/// counter, and a heartbeat after each shard. All publishing happens at
+/// shard granularity — the per-access hot path inside each shard is the
+/// same monomorphized code as the un-served sweep.
+pub(crate) struct ServeSweepTracer {
+    inner: SweepSpanTracer,
+    handle: ServeHandle,
+    started: Instant,
+    workers: usize,
+    refs: AtomicU64,
+}
+
+impl ServeSweepTracer {
+    fn new(handle: ServeHandle, shards: usize, workers: usize) -> Self {
+        handle.update_metrics(|m| {
+            let g = m.gauge("sweep_shards_total");
+            m.set_gauge(g, shards as f64);
+            let g = m.gauge("sweep_workers");
+            m.set_gauge(g, workers as f64);
+            // Register the running counters up front so the first scrape
+            // already shows the full schema at zero.
+            m.counter("sweep_shards_done_total");
+            m.counter("sweep_refs_total");
+            m.counter("sweep_probes_total");
+        });
+        ServeSweepTracer {
+            inner: SweepSpanTracer::new(),
+            handle,
+            started: Instant::now(),
+            workers,
+            refs: AtomicU64::new(0),
+        }
+    }
+
+    fn heartbeat(&self, refs: u64) -> ServeHeartbeat {
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        ServeHeartbeat {
+            refs,
+            wall_seconds,
+            refs_per_second: if wall_seconds > 0.0 {
+                refs as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            window_miss_ratio: None,
+            active_workers: Some(self.workers as u64),
+        }
+    }
+
+    /// Publishes the closing heartbeat and returns the merged span trace.
+    /// The caller owns the handle's `finish_run` — a sweep CLI may want to
+    /// publish final tables before declaring the run done.
+    fn finish(self, shards: usize, workers: usize) -> SpanTrace {
+        let hb = self.heartbeat(self.refs.load(Ordering::Relaxed));
+        self.handle.publish_heartbeat(&hb);
+        self.inner.finish(shards, workers)
+    }
+}
+
+impl SweepTracer for ServeSweepTracer {
+    type Worker = SpanWorker;
+
+    fn worker_start(&self, track: u32) -> SpanWorker {
+        let worker = track.to_string();
+        self.handle.update_metrics(|m| {
+            let g = m.gauge(&labeled("sweep_worker_busy", "worker", &worker));
+            m.set_gauge(g, 0.0);
+            m.counter(&labeled("sweep_worker_shards_total", "worker", &worker));
+        });
+        self.inner.worker_start(track)
+    }
+
+    fn shard_begin(&self, w: &mut SpanWorker, shard: &Shard) {
+        self.inner.shard_begin(w, shard);
+        let worker = w.buf.track().to_string();
+        self.handle.update_metrics(|m| {
+            let g = m.gauge(&labeled("sweep_worker_busy", "worker", &worker));
+            m.set_gauge(g, 1.0);
+        });
+    }
+
+    fn shard_end(&self, w: &mut SpanWorker, out: &ShardOutcome) {
+        self.inner.shard_end(w, out);
+        let worker = w.buf.track().to_string();
+        let shard_refs = out.hierarchy.processor_refs;
+        let shard_probes = shard_probe_total(&out.results);
+        let refs = self.refs.fetch_add(shard_refs, Ordering::Relaxed) + shard_refs;
+        self.handle.update_metrics(|m| {
+            let c = m.counter("sweep_shards_done_total");
+            m.inc(c, 1);
+            let c = m.counter("sweep_refs_total");
+            m.inc(c, shard_refs);
+            let c = m.counter("sweep_probes_total");
+            m.inc(c, shard_probes);
+            let g = m.gauge(&labeled("sweep_worker_busy", "worker", &worker));
+            m.set_gauge(g, 0.0);
+            let c = m.counter(&labeled("sweep_worker_shards_total", "worker", &worker));
+            m.inc(c, 1);
+        });
+        self.handle.publish_heartbeat(&self.heartbeat(refs));
+    }
+
+    fn worker_finish(&self, w: SpanWorker) {
+        self.inner.worker_finish(w);
+    }
+
+    fn merge_begin(&self) {
+        self.inner.merge_begin();
+    }
+
+    fn merge_end(&self) {
+        self.inner.merge_end();
+    }
+}
+
 /// Total optimized probes a shard charged, summed over every strategy —
 /// the same accounting as the aggregate `ProbeStats` books.
 fn shard_probe_total(results: &[(ProbeStats, ProbeStats)]) -> u64 {
@@ -750,13 +874,53 @@ fn simulate_many_traced_impl(
     (outcomes, tracer.finish(shard_count, threads))
 }
 
+/// [`simulate_many_traced`] additionally publishing live sweep progress —
+/// shard/ref/probe counters, per-worker busy gauges, and heartbeats — to a
+/// monitoring server's [`ServeHandle`]. Outcomes stay bit-identical to the
+/// un-served sweep: publishing happens only between shards.
+///
+/// The caller keeps responsibility for `finish_run` on the handle, so it
+/// can publish final summary metrics after the sweep before the server
+/// reports the run as done.
+pub fn simulate_many_served(
+    specs: &[RunSpec],
+    handle: ServeHandle,
+) -> (Vec<RunOutcome>, SpanTrace) {
+    let shards = shard_plan(specs);
+    let threads = worker_threads(shards.len());
+    simulate_many_served_impl(specs, shards, threads, handle)
+}
+
+/// [`simulate_many_served`] with an explicit worker count.
+pub fn simulate_many_served_with_threads(
+    specs: &[RunSpec],
+    threads: usize,
+    handle: ServeHandle,
+) -> (Vec<RunOutcome>, SpanTrace) {
+    let shards = shard_plan(specs);
+    let threads = threads.max(1).min(shards.len().max(1));
+    simulate_many_served_impl(specs, shards, threads, handle)
+}
+
+fn simulate_many_served_impl(
+    specs: &[RunSpec],
+    shards: Vec<Shard>,
+    threads: usize,
+    handle: ServeHandle,
+) -> (Vec<RunOutcome>, SpanTrace) {
+    let tracer = ServeSweepTracer::new(handle, shards.len(), threads);
+    let shard_count = shards.len();
+    let outcomes = simulate_sharded(specs, shards, threads, &tracer);
+    (outcomes, tracer.finish(shard_count, threads))
+}
+
 fn simulate_sharded<T: SweepTracer>(
     specs: &[RunSpec],
     shards: Vec<Shard>,
     threads: usize,
     tracer: &T,
 ) -> Vec<RunOutcome> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::AtomicUsize;
     use std::sync::Mutex;
 
     let mut slots: Vec<Option<ShardOutcome>> = Vec::new();
