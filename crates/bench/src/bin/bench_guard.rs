@@ -162,7 +162,9 @@ fn run(opts: &Options) -> Result<(), String> {
         let mut retries = 0;
         while retries < 2
             && !violations.is_empty()
-            && violations.iter().all(|v| v.kind == ViolationKind::Wall)
+            && violations
+                .iter()
+                .all(|v| matches!(v.kind, ViolationKind::Wall | ViolationKind::Scaling))
         {
             retries += 1;
             eprintln!("wall-time violation(s); re-measuring to filter machine noise ({retries}/2)");

@@ -12,6 +12,9 @@
 //!                        --html F renders the deltas as a colored table)
 //!              report (self-contained HTML dashboard; --out report.html,
 //!                      --bench-dir for the BENCH_<n>.json history)
+//!              bench-serve (concurrent-cache scaling: replay a trace through
+//!                           seta-serve at each --threads count; p50/p99 and
+//!                           req/s per count, JSON artifact via --out)
 //!   --scale N        shrink the trace by N× (default 1 = full 8M references)
 //!   --seed S         workload seed (default the experiments' fixed seed)
 //!   --json           emit machine-readable JSON instead of text tables
@@ -25,7 +28,13 @@
 //!   --serve-linger S keep serving the final state for S seconds after the run
 //! ```
 
+use seta_cache::CacheConfig;
+use seta_core::lookup::{
+    Banked, LookupStrategy, Mru, Naive, PartialCompare, ScanOrder, StrategyKind, Traditional,
+    TransformKind,
+};
 use seta_obs::RunManifest;
+use seta_serve::LoadSpec;
 use seta_sim::config::table3_l1_miss_ratios;
 use seta_sim::experiments::{
     banked, contention, deep, fig3, fig4, fig5, fig6, hashrehash, invalidation, policy, table1,
@@ -38,6 +47,7 @@ use seta_sim::runner::{
     simulate_many_traced_with_threads, standard_strategies, RunSpec,
 };
 use seta_sim::sweep_report::SweepReport;
+use seta_trace::format::DineroReader;
 use seta_trace::gen::AtumLike;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -64,6 +74,12 @@ struct Options {
     bench_dir: String,
     serve: Option<String>,
     serve_linger: u64,
+    thread_list: Vec<usize>,
+    repeat: u64,
+    strategy: String,
+    stripes: usize,
+    trace_path: Option<String>,
+    sample_every: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -94,6 +110,12 @@ fn parse_args() -> Result<Options, String> {
         bench_dir: ".".into(),
         serve: None,
         serve_linger: 0,
+        thread_list: Vec::new(),
+        repeat: 1,
+        strategy: "mru".into(),
+        stripes: 16,
+        trace_path: None,
+        sample_every: 64,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -147,11 +169,25 @@ fn parse_args() -> Result<Options, String> {
             }
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a value")?;
-                let t: usize = v.parse().map_err(|e| format!("bad --threads {v}: {e}"))?;
-                if t == 0 {
+                let list: Vec<usize> = v
+                    .split(',')
+                    .map(|part| {
+                        part.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad --threads {v}: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if list.is_empty() || list.contains(&0) {
                     return Err("--threads must be positive".into());
                 }
-                opts.threads = Some(t);
+                if list.len() > 1 && opts.experiment != "bench-serve" {
+                    return Err(format!(
+                        "--threads takes one value for {} (lists are for bench-serve)",
+                        opts.experiment
+                    ));
+                }
+                opts.threads = Some(list[0]);
+                opts.thread_list = list;
             }
             "--serve" => {
                 opts.serve = Some(args.next().ok_or("--serve needs an address")?);
@@ -161,6 +197,32 @@ fn parse_args() -> Result<Options, String> {
                 opts.serve_linger = v
                     .parse()
                     .map_err(|e| format!("bad --serve-linger {v}: {e}"))?;
+            }
+            "--repeat" => {
+                let v = args.next().ok_or("--repeat needs a value")?;
+                opts.repeat = v.parse().map_err(|e| format!("bad --repeat {v}: {e}"))?;
+                if opts.repeat == 0 {
+                    return Err("--repeat must be positive".into());
+                }
+            }
+            "--strategy" => {
+                opts.strategy = args.next().ok_or("--strategy needs a name")?;
+            }
+            "--stripes" => {
+                let v = args.next().ok_or("--stripes needs a value")?;
+                opts.stripes = v.parse().map_err(|e| format!("bad --stripes {v}: {e}"))?;
+                if opts.stripes == 0 {
+                    return Err("--stripes must be positive".into());
+                }
+            }
+            "--trace" => {
+                opts.trace_path = Some(args.next().ok_or("--trace needs a path")?);
+            }
+            "--sample-every" => {
+                let v = args.next().ok_or("--sample-every needs a value")?;
+                opts.sample_every = v
+                    .parse()
+                    .map_err(|e| format!("bad --sample-every {v}: {e}"))?;
             }
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
@@ -222,7 +284,11 @@ fn usage() -> String {
      \x20        (exit 1 when probe accounting diverges; --html F for an HTML table)\n\
      report:     one self-contained HTML dashboard (time series, explain,\n\
      \x20        sweep utilization, BENCH_<n>.json trajectory)\n\
-     \x20        [--out report.html] [--bench-dir DIR] [--threads N]"
+     \x20        [--out report.html] [--bench-dir DIR] [--threads N]\n\
+     bench-serve: concurrent-cache scaling benchmark over a Dinero trace\n\
+     \x20        [--threads 1,2,4] [--trace F] [--repeat N] [--strategy S]\n\
+     \x20        [--stripes N] [--sample-every N] [--out artifact.json]\n\
+     \x20        [--serve addr:port] [--assoc A]"
         .into()
 }
 
@@ -721,6 +787,163 @@ fn run_one(name: &str, p: &ExperimentParams, out: Output) -> Result<(), String> 
     Ok(())
 }
 
+/// The lookup strategy pricing every shared-cache request in
+/// `bench-serve`, as both the statically dispatched kind the served cache
+/// takes and the boxed form the sequential reference simulation takes.
+fn serve_strategy(
+    name: &str,
+    assoc: u32,
+) -> Result<(StrategyKind, Box<dyn LookupStrategy>), String> {
+    Ok(match name {
+        "traditional" => (
+            StrategyKind::Traditional(Traditional),
+            Box::new(Traditional),
+        ),
+        "naive" => (StrategyKind::Naive(Naive), Box::new(Naive)),
+        "mru" => (StrategyKind::Mru(Mru::full()), Box::new(Mru::full())),
+        "partial" => {
+            let subsets = if assoc == 1 {
+                1
+            } else {
+                seta_core::model::subsets_for_four_bit_compares(16, assoc)
+            };
+            (
+                StrategyKind::Partial(PartialCompare::new(16, subsets, TransformKind::XorFold)),
+                Box::new(PartialCompare::new(16, subsets, TransformKind::XorFold)),
+            )
+        }
+        "banked" => (
+            StrategyKind::Banked(Banked::new(2, ScanOrder::Frame)),
+            Box::new(Banked::new(2, ScanOrder::Frame)),
+        ),
+        other => {
+            return Err(format!(
+                "unknown --strategy {other:?} (traditional|naive|mru|partial|banked)"
+            ))
+        }
+    })
+}
+
+/// Replays a Dinero trace through the sharded concurrent cache at each
+/// requested client-thread count ([`seta_serve::replay`]), printing a
+/// scaling table of req/s and sampled p50/p99 request latency.
+///
+/// Two correctness gates run inline: every outcome must conserve its
+/// tallies ([`seta_serve::LoadOutcome::conserves`]), and the 1-thread
+/// replay must be bit-identical — shared-cache statistics and probe
+/// accounting — to the sequential [`simulate`] of the same events.
+fn run_bench_serve(opts: &Options) -> Result<(), String> {
+    let trace_path = opts.trace_path.as_deref().unwrap_or("traces/tiny.din");
+    let text =
+        std::fs::read_to_string(trace_path).map_err(|e| format!("read {trace_path}: {e}"))?;
+    let base: Vec<seta_trace::TraceEvent> = DineroReader::new(text.as_bytes())
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("parse {trace_path}: {e}"))?;
+    let events: Vec<seta_trace::TraceEvent> = std::iter::repeat(base.iter().copied())
+        .take(opts.repeat as usize)
+        .flatten()
+        .collect();
+    if events.is_empty() {
+        return Err(format!("{trace_path}: no trace events"));
+    }
+
+    // The bench guard's fixed geometry, with the L2 associativity
+    // overridable so the strategies have something to disagree about.
+    let l1 = CacheConfig::direct_mapped(4 * 1024, 16).map_err(|e| e.to_string())?;
+    let l2 = CacheConfig::new(64 * 1024, 32, opts.assoc).map_err(|e| e.to_string())?;
+    let (kind, boxed) = serve_strategy(&opts.strategy, opts.assoc)?;
+    let mut spec = LoadSpec::new(l1, l2, kind);
+    spec.stripes = opts.stripes;
+    spec.sample_every = opts.sample_every.max(1);
+
+    let strategies = vec![boxed];
+    let sequential = simulate(l1, l2, events.iter().copied(), &strategies);
+
+    let threads = if opts.thread_list.is_empty() {
+        vec![1, 2, 4]
+    } else {
+        opts.thread_list.clone()
+    };
+    let server = bind_server(opts, "paper_tables bench-serve")?;
+    let mut rows = Vec::new();
+    for &t in &threads {
+        let out = match server.as_ref() {
+            Some(s) => {
+                let handle = s.handle();
+                seta_serve::replay_served(&events, t, &spec, &handle).0
+            }
+            None => seta_serve::replay(&events, t, &spec),
+        };
+        if !out.conserves() {
+            return Err(format!("{t}-thread replay does not conserve: {out:?}"));
+        }
+        if t == 1 {
+            if out.l2_stats != sequential.l2_stats {
+                return Err(
+                    "1-thread replay diverged from sequential simulate (shared-cache stats)".into(),
+                );
+            }
+            if out.l2_probes != sequential.strategies[0].probes {
+                return Err(
+                    "1-thread replay diverged from sequential simulate (probe accounting)".into(),
+                );
+            }
+        }
+        rows.push(out);
+    }
+    linger_and_shutdown(server, opts.serve_linger);
+
+    let artifact = serde_json::json!({
+        "schema_version": 1,
+        "trace": trace_path,
+        "repeat": opts.repeat,
+        "strategy": opts.strategy.clone(),
+        "stripes": spec.stripes,
+        "l2_assoc": opts.assoc,
+        "rows": rows.clone(),
+    });
+    if let Some(path) = &opts.out {
+        let json = serde_json::to_string_pretty(&artifact).map_err(|e| e.to_string())?;
+        std::fs::write(
+            path,
+            json + "
+",
+        )
+        .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&artifact).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    let base_rps = rows[0].requests_per_second;
+    println!(
+        "bench-serve: {} x{} ({} refs), strategy {}, {} stripes",
+        trace_path, opts.repeat, rows[0].refs, opts.strategy, spec.stripes
+    );
+    println!("threads   requests      req/s   speedup   p50 ns   p99 ns");
+    for out in &rows {
+        let fmt_ns = |v: Option<u64>| match v {
+            Some(ns) => format!("{ns:>8}"),
+            None => format!("{:>8}", "-"),
+        };
+        println!(
+            "{:>7} {:>10} {:>10.0} {:>8.2}x {} {}",
+            out.threads,
+            out.requests,
+            out.requests_per_second,
+            out.requests_per_second / base_rps.max(1e-12),
+            fmt_ns(out.p50_ns),
+            fmt_ns(out.p99_ns),
+        );
+    }
+    Ok(())
+}
+
 /// For non-`run` experiments with `--metrics`: times the experiment as a
 /// manifest phase and appends one final JSONL line recording it.
 fn write_experiment_manifest(path: &str, manifest: &RunManifest) -> Result<(), String> {
@@ -754,12 +977,13 @@ fn main() -> ExitCode {
     }
     if matches!(
         opts.experiment.as_str(),
-        "run" | "explain" | "sweep" | "report"
+        "run" | "explain" | "sweep" | "report" | "bench-serve"
     ) {
         let result = match opts.experiment.as_str() {
             "run" => run_instrumented(&p, &opts),
             "sweep" => run_sweep(&p, &opts),
             "report" => run_report(&p, &opts),
+            "bench-serve" => run_bench_serve(&opts),
             _ => run_explain(&p, &opts),
         };
         return match result {

@@ -91,6 +91,11 @@ pub struct GuardReport {
     /// sweep (>1 means the sharded runner is faster; bounded by the
     /// machine's core count).
     pub sharded_speedup: f64,
+    /// Served-cache throughput scaling: `serve/scale_4t` requests/sec over
+    /// `serve/replay_1t` requests/sec. Like `sharded_speedup` it is
+    /// machine-bound (≈1.0 on one core); [`load_report`] defaults it to 0
+    /// for baselines written before the serve benchmarks existed.
+    pub serve_speedup: f64,
     /// The run's observability manifest: one phase per benchmark.
     pub manifest: RunManifest,
 }
@@ -122,6 +127,10 @@ impl GuardReport {
                 bench.throughput = again.throughput;
             }
         }
+        // Scaling ratios are wall-derived, so they fold the same way:
+        // contention only ever lowers them, making the max the best
+        // estimate across attempts.
+        self.serve_speedup = self.serve_speedup.max(fresh.serve_speedup);
     }
 }
 
@@ -509,6 +518,64 @@ pub fn measure(cfg: &GuardConfig) -> GuardReport {
     ));
     let sharded_speedup = seq_median.as_secs_f64() / sharded_median.as_secs_f64().max(1e-12);
 
+    // Concurrent serve replay of the bundled trace: single-thread
+    // ns/request (real probe counts — bit-identical to the sweep scorer's
+    // pricing, asserted against sequential simulate below), plus 2- and
+    // 4-thread scaling points. Multi-thread shared-cache hit/miss/probe
+    // splits are interleaving-dependent, so the scaling benchmarks record
+    // probes as 0 and guard only the deterministic request totals and the
+    // wall trajectory.
+    let serve_reps = if cfg.quick { 2 } else { 8 };
+    let serve_events: Vec<TraceEvent> = std::iter::repeat(events.iter().copied())
+        .take(serve_reps)
+        .flatten()
+        .collect();
+    let serve_spec = seta_serve::LoadSpec::new(l1, l2, StrategyKind::Mru(Mru::full()));
+    let serve_seq = simulate(
+        l1,
+        l2,
+        serve_events.iter().copied(),
+        &[Box::new(Mru::full()) as Box<dyn LookupStrategy>],
+    );
+    let baseline_1t = seta_serve::replay(&serve_events, 1, &serve_spec);
+    assert!(baseline_1t.conserves(), "serve tallies do not conserve");
+    assert_eq!(
+        baseline_1t.l2_stats, serve_seq.l2_stats,
+        "1-thread serve replay diverged from sequential simulate"
+    );
+    assert_eq!(
+        baseline_1t.l2_probes, serve_seq.strategies[0].probes,
+        "1-thread serve probes diverged from the sweep scorer"
+    );
+    let phase = manifest.begin_phase("serve/replay_1t");
+    let (serve_1t_median, probes, accesses) = run_passes(cfg.passes, || {
+        let out = seta_serve::replay(&serve_events, 1, &serve_spec);
+        assert!(out.conserves(), "serve tallies do not conserve");
+        (out.probes, out.requests)
+    });
+    manifest.end_phase(phase);
+    let serve_1t = record("serve/replay_1t", serve_1t_median, probes, accesses);
+    let serve_1t_throughput = serve_1t.throughput;
+    benchmarks.push(serve_1t);
+
+    let mut serve_4t_throughput = serve_1t_throughput;
+    for threads in [2usize, 4] {
+        let name = format!("serve/scale_{threads}t");
+        let phase = manifest.begin_phase(&name);
+        let (median, _probes, accesses) = run_passes(cfg.passes, || {
+            let out = seta_serve::replay(&serve_events, threads, &serve_spec);
+            assert!(out.conserves(), "serve tallies do not conserve");
+            (0, out.requests)
+        });
+        manifest.end_phase(phase);
+        let rec = record(&name, median, 0, accesses);
+        if threads == 4 {
+            serve_4t_throughput = rec.throughput;
+        }
+        benchmarks.push(rec);
+    }
+    let serve_speedup = serve_4t_throughput / serve_1t_throughput.max(1e-12);
+
     let git_rev = git_short_rev().unwrap_or_else(|| "unknown".to_owned());
     manifest.label("git_rev", &git_rev);
     manifest.label("sweep_threads", sweep_threads);
@@ -525,6 +592,7 @@ pub fn measure(cfg: &GuardConfig) -> GuardReport {
         sweep_threads,
         benchmarks,
         sharded_speedup,
+        serve_speedup,
         manifest,
     }
 }
@@ -580,6 +648,9 @@ pub enum ViolationKind {
     Probes,
     /// Wall time regressed beyond tolerance.
     Wall,
+    /// Served-cache throughput scaling collapsed relative to a baseline
+    /// that demonstrated real scaling.
+    Scaling,
 }
 
 /// One reason a comparison failed.
@@ -682,6 +753,21 @@ pub fn compare(baseline: &GuardReport, current: &GuardReport, tolerance: f64) ->
             });
         }
     }
+    // Scaling-efficiency collapse: armed only when the baseline itself
+    // demonstrated scaling (a multi-core measurement recorded ≥ 1.5x).
+    // One-core baselines record ≈ 1.0 and keep the check dormant, so a
+    // laptop-written baseline can never fail CI for lacking cores.
+    if baseline.serve_speedup >= 1.5 && current.serve_speedup < baseline.serve_speedup * 0.5 {
+        violations.push(Violation {
+            benchmark: "serve/scale_4t".to_owned(),
+            kind: ViolationKind::Scaling,
+            detail: format!(
+                "serve scaling collapsed: {:.2}x at 4 threads vs baseline {:.2}x \
+                 (threshold: half the baseline)",
+                current.serve_speedup, baseline.serve_speedup
+            ),
+        });
+    }
     violations
 }
 
@@ -706,9 +792,25 @@ pub fn baseline_files(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
 }
 
 /// Loads a report written by [`write_report`].
+///
+/// Reports from before the serve benchmarks lack `serve_speedup`; it is
+/// defaulted to 0 here (the vendored `serde_derive` has no `#[serde]`
+/// attribute support), which keeps the scaling gate dormant against them.
 pub fn load_report(path: &Path) -> Result<GuardReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    report_from_value(value).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Deserializes a report from an already-parsed JSON value, defaulting
+/// the fields newer than the oldest supported baseline.
+pub(crate) fn report_from_value(mut value: serde_json::Value) -> Result<GuardReport, String> {
+    if let serde_json::Value::Object(map) = &mut value {
+        map.entry("serve_speedup".to_owned())
+            .or_insert_with(|| serde_json::Value::Number(serde_json::Number::from_f64(0.0)));
+    }
+    serde_json::from_value(value).map_err(|e| e.to_string())
 }
 
 /// Writes `report` as the next `BENCH_<n>.json` in `dir`, returning the
@@ -746,6 +848,10 @@ pub fn render(report: &GuardReport) -> String {
         "sharded sweep speedup over sequential: {:.2}x\n",
         report.sharded_speedup
     ));
+    out.push_str(&format!(
+        "serve throughput scaling at 4 threads: {:.2}x\n",
+        report.serve_speedup
+    ));
     out
 }
 
@@ -776,6 +882,7 @@ mod tests {
                 throughput: 1e8,
             }],
             sharded_speedup: 1.0,
+            serve_speedup: 1.0,
             manifest: RunManifest::new("test"),
         }
     }

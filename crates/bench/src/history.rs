@@ -57,8 +57,8 @@ pub fn load_history(dir: &Path) -> Result<Vec<HistoryEntry>, String> {
                 ))
             }
         }
-        let report: GuardReport =
-            serde_json::from_value(value).map_err(|e| format!("{}: {e}", path.display()))?;
+        let report = crate::guard::report_from_value(value)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
         entries.push(HistoryEntry { n, path, report });
     }
     Ok(entries)
@@ -329,6 +329,7 @@ mod tests {
             sweep_threads: 2,
             benchmarks: benches,
             sharded_speedup: 1.5,
+            serve_speedup: 1.0,
             manifest: RunManifest::new("test"),
         }
     }

@@ -1,11 +1,12 @@
 //! The set-associative write-back cache.
 
 use crate::addr::AddressMapper;
+use crate::bank::SetBank;
 use crate::block::Frame;
 use crate::config::CacheConfig;
-use crate::replacement::{Policy, ReplacementState};
+use crate::replacement::Policy;
 use crate::stats::CacheStats;
-use seta_core::packed::{LaneSpec, LaneView, PackedLanes};
+use seta_core::packed::{LaneSpec, LaneView};
 
 /// A block evicted by a fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,13 +55,10 @@ pub struct AccessResult {
 pub struct Cache {
     config: CacheConfig,
     mapper: AddressMapper,
-    frames: Vec<Frame>,
-    replacement: ReplacementState,
-    stats: CacheStats,
-    /// Packed-lane mirror of the stored tags for SWAR partial compares
-    /// (see [`seta_core::packed`]); kept coherent with `frames` at every
-    /// tag write. `None` until [`enable_partial_lanes`](Self::enable_partial_lanes).
-    lanes: Option<PackedLanes>,
+    /// All set-local state (frames, recency, stats, packed lanes) lives in
+    /// one [`SetBank`] spanning every set; `Cache` adds the address
+    /// mapping on top.
+    bank: SetBank,
 }
 
 impl Cache {
@@ -81,10 +79,7 @@ impl Cache {
         Cache {
             config,
             mapper,
-            frames: vec![Frame::empty(); num_sets * assoc],
-            replacement: ReplacementState::new(policy, num_sets, assoc, seed),
-            stats: CacheStats::new(),
-            lanes: None,
+            bank: SetBank::new(num_sets, assoc, policy, seed),
         }
     }
 
@@ -95,53 +90,18 @@ impl Cache {
     /// match this cache's. The lanes are (re)built from the current frame
     /// tags, so this can be enabled mid-run.
     pub fn enable_partial_lanes(&mut self, spec: LaneSpec) -> bool {
-        if spec.ways() != self.config.associativity() {
-            return false;
-        }
-        let num_sets = self.config.num_sets() as usize;
-        let assoc = self.config.associativity() as usize;
-        let mut lanes = PackedLanes::new(spec, num_sets);
-        let mut tags = vec![0u64; assoc];
-        for set in 0..num_sets {
-            for (w, f) in self.frames[set * assoc..(set + 1) * assoc]
-                .iter()
-                .enumerate()
-            {
-                tags[w] = f.tag;
-            }
-            lanes.rebuild_set(set, &tags);
-        }
-        self.lanes = Some(lanes);
-        true
+        self.bank.enable_partial_lanes(spec)
     }
 
     /// The packed-lane spec in force, if lanes are maintained.
     pub fn lane_spec(&self) -> Option<LaneSpec> {
-        self.lanes.as_ref().map(|l| l.spec())
+        self.bank.lane_spec()
     }
 
     /// One set's packed lanes for a lookup, if lanes are maintained.
     pub fn lane_view(&self, set: u64) -> Option<LaneView<'_>> {
-        self.lanes
-            .as_ref()
-            .map(|l| l.view(usize::try_from(set).expect("set fits usize")))
-    }
-
-    /// Debug-build check that the packed lanes still mirror `set`'s frame
-    /// tags — the coherence invariant of [`seta_core::packed`], asserted
-    /// at every site that mutates a set.
-    fn debug_check_lanes(&self, set_idx: usize) {
-        #[cfg(debug_assertions)]
-        if let Some(lanes) = &self.lanes {
-            let assoc = self.config.associativity() as usize;
-            let tags: Vec<u64> = self.frames[set_idx * assoc..(set_idx + 1) * assoc]
-                .iter()
-                .map(|f| f.tag)
-                .collect();
-            lanes.assert_coherent(set_idx, &tags);
-        }
-        #[cfg(not(debug_assertions))]
-        let _ = set_idx;
+        self.bank
+            .lane_view(usize::try_from(set).expect("set fits usize"))
     }
 
     /// The geometry of this cache.
@@ -156,12 +116,12 @@ impl Cache {
 
     /// Accumulated statistics.
     pub fn stats(&self) -> &CacheStats {
-        &self.stats
+        self.bank.stats()
     }
 
     /// Resets the statistics without touching contents.
     pub fn reset_stats(&mut self) {
-        self.stats.reset();
+        self.bank.reset_stats();
     }
 
     /// The frames of one set, indexed by way.
@@ -170,9 +130,8 @@ impl Cache {
     ///
     /// Panics if `set` is out of range.
     pub fn set_frames(&self, set: u64) -> &[Frame] {
-        let assoc = self.config.associativity() as usize;
-        let start = usize::try_from(set).expect("set fits usize") * assoc;
-        &self.frames[start..start + assoc]
+        self.bank
+            .frames(usize::try_from(set).expect("set fits usize"))
     }
 
     /// The recency list of one set, most-recently-used way first.
@@ -184,7 +143,7 @@ impl Cache {
     ///
     /// Panics if `set` is out of range.
     pub fn set_order(&self, set: u64) -> &[u8] {
-        self.replacement
+        self.bank
             .order(usize::try_from(set).expect("set fits usize"))
     }
 
@@ -192,10 +151,8 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> Option<u8> {
         let set = self.mapper.set_of(addr);
         let tag = self.mapper.tag_of(addr);
-        self.set_frames(set)
-            .iter()
-            .position(|f| f.matches(tag))
-            .map(|w| w as u8)
+        self.bank
+            .probe(usize::try_from(set).expect("set fits usize"), tag)
     }
 
     /// Performs one access: looks the block up, refreshes recency on a hit,
@@ -205,50 +162,15 @@ impl Cache {
         let set = self.mapper.set_of(addr);
         let tag = self.mapper.tag_of(addr);
         let set_idx = usize::try_from(set).expect("set fits usize");
-        let assoc = self.config.associativity() as usize;
-        let base = set_idx * assoc;
-
-        if let Some(way) = self.set_frames(set).iter().position(|f| f.matches(tag)) {
-            let way = way as u8;
-            let mru_distance = self.replacement.recency_of(set_idx, way);
-            self.replacement.touch(set_idx, way);
-            if is_write {
-                self.frames[base + way as usize].dirty = true;
-            }
-            self.stats.record_access(true, is_write);
-            return AccessResult {
-                hit: true,
-                way,
-                mru_distance: Some(mru_distance),
-                evicted: None,
-            };
-        }
-
-        // Miss: choose a victim (preferring invalid frames), evict, fill.
-        let valid: Vec<bool> = self.set_frames(set).iter().map(|f| f.valid).collect();
-        let way = self.replacement.victim(set_idx, &valid);
-        let victim = &self.frames[base + way as usize];
-        let evicted = victim.valid.then(|| EvictedBlock {
-            addr: self.mapper.block_addr(victim.tag, set),
-            dirty: victim.dirty,
-        });
-        if let Some(e) = evicted {
-            self.stats.record_eviction(e.dirty);
-        }
-        self.frames[base + way as usize] = Frame::filled(tag, is_write);
-        // The fill is the only operation that writes a frame's tag, so it
-        // is the only place the packed lanes need an incremental update.
-        if let Some(lanes) = &mut self.lanes {
-            lanes.on_fill(set_idx, way as usize, tag);
-        }
-        self.debug_check_lanes(set_idx);
-        self.replacement.fill(set_idx, way);
-        self.stats.record_access(false, is_write);
+        let r = self.bank.access(set_idx, tag, is_write);
         AccessResult {
-            hit: false,
-            way,
-            mru_distance: None,
-            evicted,
+            hit: r.hit,
+            way: r.way,
+            mru_distance: r.mru_distance,
+            evicted: r.evicted.map(|(tag, dirty)| EvictedBlock {
+                addr: self.mapper.block_addr(tag, set),
+                dirty,
+            }),
         }
     }
 
@@ -257,17 +179,7 @@ impl Cache {
     /// segment boundaries of the paper's trace methodology, not an orderly
     /// write-back flush.
     pub fn flush(&mut self) {
-        for f in &mut self.frames {
-            f.invalidate();
-        }
-        self.replacement.reset();
-        // Invalidation clears valid bits but keeps tags in place, so the
-        // packed lanes (which mirror tags regardless of validity) are
-        // still coherent without an update.
-        #[cfg(debug_assertions)]
-        for set in 0..self.config.num_sets() as usize {
-            self.debug_check_lanes(set);
-        }
+        self.bank.flush();
     }
 
     /// Invalidates the block holding `addr`, if resident, returning whether
@@ -281,36 +193,25 @@ impl Cache {
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let set = self.mapper.set_of(addr);
         let tag = self.mapper.tag_of(addr);
-        let assoc = self.config.associativity() as usize;
-        let base = usize::try_from(set).expect("set fits usize") * assoc;
-        if let Some(way) = self.set_frames(set).iter().position(|f| f.matches(tag)) {
-            self.frames[base + way].invalidate();
-            // Tags survive invalidation, so the lanes stay coherent.
-            self.debug_check_lanes(base / assoc);
-            true
-        } else {
-            false
-        }
+        self.bank
+            .invalidate(usize::try_from(set).expect("set fits usize"), tag)
     }
 
     /// Number of invalid (empty) block frames.
     pub fn empty_frames(&self) -> usize {
-        self.frames.len() - self.resident_blocks()
+        self.config.num_frames() as usize - self.bank.resident_blocks()
     }
 
     /// Number of valid blocks currently resident.
     pub fn resident_blocks(&self) -> usize {
-        self.frames.iter().filter(|f| f.valid).count()
+        self.bank.resident_blocks()
     }
 
     /// Iterates over the block-aligned addresses of all resident blocks.
     pub fn resident_addrs(&self) -> impl Iterator<Item = u64> + '_ {
-        let assoc = self.config.associativity() as usize;
-        self.frames
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.valid)
-            .map(move |(i, f)| self.mapper.block_addr(f.tag, (i / assoc) as u64))
+        self.bank
+            .resident_tags()
+            .map(move |(set, tag)| self.mapper.block_addr(tag, set as u64))
     }
 }
 

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod bank;
 pub mod block;
 pub mod cache;
 pub mod config;
@@ -49,6 +50,7 @@ pub mod stats;
 pub mod swap_two_way;
 
 pub use addr::AddressMapper;
+pub use bank::{BankAccess, SetBank};
 pub use block::Frame;
 pub use cache::{AccessResult, Cache, EvictedBlock};
 pub use config::{CacheConfig, CacheConfigError};

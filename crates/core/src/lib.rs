@@ -71,3 +71,41 @@ pub use observe::ProbeObserver;
 pub use packed::{LaneSpec, LaneView, PackedLanes};
 pub use probe::{ProbeStats, Tally};
 pub use set_view::{SetView, MAX_ASSOC};
+
+#[cfg(test)]
+mod concurrency_audit {
+    //! Send/Sync audit of every type a concurrent cache shares across
+    //! threads. Lookup strategies and their state are immutable values —
+    //! stored tags live in the cache, not the strategy — so all of them
+    //! must be freely shareable. A compile failure here means someone
+    //! added interior mutability (or a raw pointer) to strategy state,
+    //! which would silently forbid `seta-serve`'s striped sharing.
+
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn strategy_state_is_send_and_sync() {
+        assert_send_sync::<StrategyKind>();
+        assert_send_sync::<lookup::Traditional>();
+        assert_send_sync::<lookup::Naive>();
+        assert_send_sync::<lookup::Mru>();
+        assert_send_sync::<lookup::PartialCompare>();
+        assert_send_sync::<lookup::Banked>();
+        assert_send_sync::<lookup::ScanOrder>();
+        assert_send_sync::<lookup::TransformKind>();
+    }
+
+    #[test]
+    fn lookup_inputs_and_outputs_are_send_and_sync() {
+        assert_send_sync::<SetView>();
+        assert_send_sync::<Lookup>();
+        assert_send_sync::<LaneSpec>();
+        assert_send_sync::<PackedLanes>();
+        assert_send_sync::<LaneView<'static>>();
+        assert_send_sync::<ProbeStats>();
+        assert_send_sync::<Tally>();
+        assert_send_sync::<MruDistanceHistogram>();
+    }
+}

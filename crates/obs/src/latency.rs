@@ -1,0 +1,138 @@
+//! Sampled request-latency recording with exact percentiles.
+//!
+//! The serve load generator times a deterministic 1-in-`every` sample of
+//! requests rather than every request, so the act of measuring does not
+//! dominate sub-microsecond lock-and-probe operations. Samples are kept
+//! raw (no histogram buckets); percentiles are exact nearest-rank order
+//! statistics over the retained samples, and per-thread recorders
+//! [`merge`](LatencyRecorder::merge) losslessly.
+
+/// Records a deterministic sample of observed latencies, in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyRecorder {
+    every: u64,
+    seen: u64,
+    samples_ns: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// A recorder sampling one in `every` observations (`every = 1` times
+    /// everything). `every = 0` is treated as 1.
+    pub fn new(every: u64) -> Self {
+        LatencyRecorder {
+            every: every.max(1),
+            seen: 0,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Advances the sampling counter; returns whether the caller should
+    /// time this observation and [`record`](Self::record) it. The first
+    /// observation is always sampled, then every `every`-th after that.
+    pub fn should_sample(&mut self) -> bool {
+        let sample = self.seen % self.every == 0;
+        self.seen += 1;
+        sample
+    }
+
+    /// Records one sampled latency.
+    pub fn record(&mut self, ns: u64) {
+        self.samples_ns.push(ns);
+    }
+
+    /// Folds another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.seen += other.seen;
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Whether no samples were retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// Total observations counted (sampled or not).
+    pub fn observed(&self) -> u64 {
+        self.seen
+    }
+
+    /// The exact nearest-rank `p`-th percentile (`0 < p <= 100`) of the
+    /// retained samples, or `None` when empty.
+    pub fn percentile_ns(&self, p: f64) -> Option<u64> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, n) - 1])
+    }
+
+    /// Convenience pair `(p50, p99)`, both `None` when empty.
+    pub fn p50_p99_ns(&self) -> (Option<u64>, Option<u64>) {
+        (self.percentile_ns(50.0), self.percentile_ns(99.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_one_in_every() {
+        let mut r = LatencyRecorder::new(4);
+        let sampled: Vec<bool> = (0..9).map(|_| r.should_sample()).collect();
+        assert_eq!(
+            sampled,
+            vec![true, false, false, false, true, false, false, false, true]
+        );
+        assert_eq!(r.observed(), 9);
+    }
+
+    #[test]
+    fn zero_every_means_every() {
+        let mut r = LatencyRecorder::new(0);
+        assert!(r.should_sample());
+        assert!(r.should_sample());
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact() {
+        let mut r = LatencyRecorder::new(1);
+        for ns in [50u64, 10, 40, 20, 30] {
+            r.record(ns);
+        }
+        assert_eq!(r.percentile_ns(50.0), Some(30), "rank ceil(2.5)=3 -> 30");
+        assert_eq!(r.percentile_ns(99.0), Some(50));
+        assert_eq!(r.percentile_ns(100.0), Some(50));
+        assert_eq!(r.percentile_ns(1.0), Some(10));
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn empty_recorder_has_no_percentiles() {
+        let r = LatencyRecorder::new(8);
+        assert!(r.is_empty());
+        assert_eq!(r.p50_p99_ns(), (None, None));
+    }
+
+    #[test]
+    fn merge_is_lossless() {
+        let mut a = LatencyRecorder::new(1);
+        let mut b = LatencyRecorder::new(1);
+        a.record(1);
+        a.should_sample();
+        b.record(100);
+        b.should_sample();
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.observed(), 2);
+        assert_eq!(a.percentile_ns(99.0), Some(100));
+    }
+}

@@ -38,6 +38,7 @@ mod registry;
 
 pub mod events;
 pub mod export;
+pub mod latency;
 pub mod report;
 pub mod serve;
 pub mod spans;
@@ -47,6 +48,7 @@ pub use events::{
     EventRing, FalseMatchStats, FalseMatchTally, PositionHistogram, ProbeEvent, SetHeatmap,
 };
 pub use export::{diff_artifacts, DiffReport, DiffRow};
+pub use latency::LatencyRecorder;
 pub use manifest::{PhaseSpan, RunManifest, TraceIdentity};
 pub use progress::Progress;
 pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, Log2Histogram, MetricsRegistry};

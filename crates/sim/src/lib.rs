@@ -60,6 +60,7 @@ pub mod config;
 pub mod experiments;
 pub mod explain;
 pub mod metered;
+pub mod partition;
 pub mod report;
 pub mod report_html;
 pub mod runner;

@@ -509,22 +509,7 @@ fn shard_plan(specs: &[RunSpec]) -> Vec<Shard> {
     shards
 }
 
-/// Worker count for a queue of `queue_len` shards: the `SETA_THREADS`
-/// environment override if set (for reproducible CI runs), otherwise the
-/// available parallelism — in both cases clamped to the queue length, so a
-/// two-shard sweep never spawns a machine's worth of idle workers.
-fn worker_threads(queue_len: usize) -> usize {
-    let requested = std::env::var("SETA_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
-    requested.min(queue_len.max(1))
-}
+use crate::partition::worker_threads;
 
 /// Hooks the sharded sweep loop calls around each unit of work.
 ///
@@ -1322,16 +1307,6 @@ mod tests {
         assert_eq!(plan.len(), 5); // 4 cold segments + 1 warm whole-spec
         assert!(plan[..4].iter().all(|s| s.seg_end - s.seg_start == 1));
         assert_eq!((plan[4].seg_start, plan[4].seg_end), (0, 3));
-    }
-
-    #[test]
-    fn worker_threads_clamps_to_queue_length() {
-        assert_eq!(worker_threads(0), 1);
-        assert_eq!(worker_threads(1), 1);
-        assert!(worker_threads(64) >= 1);
-        for n in [1usize, 2, 64] {
-            assert!(worker_threads(n) <= n.max(1));
-        }
     }
 
     #[test]

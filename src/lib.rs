@@ -18,6 +18,8 @@
 //!   table and figure of the paper.
 //! * [`obs`] (`seta-obs`) — opt-in observability: metrics registry, run
 //!   manifests, JSONL/Prometheus exporters, and a progress heartbeat.
+//! * [`serve`] (`seta-serve`) — the sharded concurrent cache service and
+//!   its multi-client load generator.
 //!
 //! # Quickstart
 //!
@@ -53,5 +55,6 @@
 pub use seta_cache as cache;
 pub use seta_core as core;
 pub use seta_obs as obs;
+pub use seta_serve as serve;
 pub use seta_sim as sim;
 pub use seta_trace as trace;
