@@ -14,7 +14,8 @@
 //!                      --bench-dir for the BENCH_<n>.json history)
 //!              bench-serve (concurrent-cache scaling: replay a trace through
 //!                           seta-serve at each --threads count; p50/p99 and
-//!                           req/s per count, JSON artifact via --out)
+//!                           req/s per count, JSON artifact via --out,
+//!                           per-stripe lock attribution via --contention-out)
 //!   --scale N        shrink the trace by N× (default 1 = full 8M references)
 //!   --seed S         workload seed (default the experiments' fixed seed)
 //!   --json           emit machine-readable JSON instead of text tables
@@ -80,6 +81,7 @@ struct Options {
     stripes: usize,
     trace_path: Option<String>,
     sample_every: u64,
+    contention_out: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -116,6 +118,7 @@ fn parse_args() -> Result<Options, String> {
         stripes: 16,
         trace_path: None,
         sample_every: 64,
+        contention_out: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -218,6 +221,9 @@ fn parse_args() -> Result<Options, String> {
             "--trace" => {
                 opts.trace_path = Some(args.next().ok_or("--trace needs a path")?);
             }
+            "--contention-out" => {
+                opts.contention_out = Some(args.next().ok_or("--contention-out needs a path")?);
+            }
             "--sample-every" => {
                 let v = args.next().ok_or("--sample-every needs a value")?;
                 opts.sample_every = v
@@ -288,7 +294,7 @@ fn usage() -> String {
      bench-serve: concurrent-cache scaling benchmark over a Dinero trace\n\
      \x20        [--threads 1,2,4] [--trace F] [--repeat N] [--strategy S]\n\
      \x20        [--stripes N] [--sample-every N] [--out artifact.json]\n\
-     \x20        [--serve addr:port] [--assoc A]"
+     \x20        [--contention-out rows.jsonl] [--serve addr:port] [--assoc A]"
         .into()
 }
 
@@ -629,6 +635,23 @@ fn run_report(p: &ExperimentParams, opts: &Options) -> Result<(), String> {
     };
     let sweep = SweepReport::from_trace(&trace);
 
+    // Small contended replays of the same synthetic workload for the
+    // contention-observatory section: per-stripe heat and the
+    // wait/service/overhead decomposition across client counts.
+    let serve_events: Vec<seta_trace::TraceEvent> = AtumLike::new(p.trace.clone(), p.seed)
+        .take(20_000)
+        .collect();
+    let mut cspec = LoadSpec::new(l1, l2, StrategyKind::Mru(Mru::full()));
+    cspec.sample_every = 16;
+    let mut contended = Vec::new();
+    for t in [1usize, 2, 4] {
+        let (cout, creport) = seta_serve::replay_contended(&serve_events, t, &cspec);
+        if !cout.conserves() {
+            return Err(format!("{t}-thread contended replay does not conserve"));
+        }
+        contended.push((t, creport));
+    }
+
     // The cross-run benchmark trajectory from the committed baselines.
     let history = seta_bench::history::load_history(std::path::Path::new(&opts.bench_dir))?;
 
@@ -645,6 +668,10 @@ fn run_report(p: &ExperimentParams, opts: &Options) -> Result<(), String> {
     page.push(explain_section(&explain_outcome, &explain_report, None));
     page.push(sweep_outcomes_section(&outcomes));
     page.push(sweep_section(&sweep, opts.trace_out.as_deref()));
+    page.push(sections::contention_section(
+        &contended,
+        opts.contention_out.as_deref(),
+    ));
     page.push(seta_bench::history::history_section(&history, 0.10));
     std::fs::write(out_path, page.render()).map_err(|e| format!("write {out_path}: {e}"))?;
     eprintln!("report -> {out_path}");
@@ -826,12 +853,17 @@ fn serve_strategy(
 
 /// Replays a Dinero trace through the sharded concurrent cache at each
 /// requested client-thread count ([`seta_serve::replay`]), printing a
-/// scaling table of req/s and sampled p50/p99 request latency.
+/// scaling table of req/s and sampled p50/p99 request latency, plus a
+/// contention-attribution table from a second, instrumented pass per
+/// thread count ([`seta_serve::replay_contended`]) — kept separate so
+/// the observer's clock reads cannot perturb the timed rows.
 ///
-/// Two correctness gates run inline: every outcome must conserve its
-/// tallies ([`seta_serve::LoadOutcome::conserves`]), and the 1-thread
+/// Three correctness gates run inline: every outcome must conserve its
+/// tallies ([`seta_serve::LoadOutcome::conserves`]), the 1-thread
 /// replay must be bit-identical — shared-cache statistics and probe
-/// accounting — to the sequential [`simulate`] of the same events.
+/// accounting — to the sequential [`simulate`] of the same events, and
+/// every instrumented pass's per-stripe accesses/hits must sum exactly
+/// to its cache's own totals.
 fn run_bench_serve(opts: &Options) -> Result<(), String> {
     let trace_path = opts.trace_path.as_deref().unwrap_or("traces/tiny.din");
     let text =
@@ -866,6 +898,7 @@ fn run_bench_serve(opts: &Options) -> Result<(), String> {
     };
     let server = bind_server(opts, "paper_tables bench-serve")?;
     let mut rows = Vec::new();
+    let mut contended: Vec<(usize, u64, seta_obs::ContentionReport)> = Vec::new();
     for &t in &threads {
         let out = match server.as_ref() {
             Some(s) => {
@@ -889,10 +922,52 @@ fn run_bench_serve(opts: &Options) -> Result<(), String> {
                 );
             }
         }
+
+        // The contention observatory pass: same events, same spec, with
+        // every request's lock wait/hold attributed to its stripe.
+        let (cout, creport) = seta_serve::replay_contended(&events, t, &spec);
+        if !cout.conserves() {
+            return Err(format!("{t}-thread contended replay does not conserve"));
+        }
+        if creport.total_accesses() != cout.l2_stats.accesses()
+            || creport.total_hits() != cout.l2_stats.hits()
+        {
+            return Err(format!(
+                "{t}-thread contention attribution does not reconcile: \
+                 stripes say {}/{} accesses/hits, cache says {}/{}",
+                creport.total_accesses(),
+                creport.total_hits(),
+                cout.l2_stats.accesses(),
+                cout.l2_stats.hits()
+            ));
+        }
+        if let Some(s) = server.as_ref() {
+            s.handle().publish_contention(&creport, t, cout.requests);
+        }
+        contended.push((t, cout.requests, creport));
         rows.push(out);
     }
     linger_and_shutdown(server, opts.serve_linger);
 
+    if let Some(path) = &opts.contention_out {
+        let mut f = BufWriter::new(File::create(path).map_err(|e| format!("create {path}: {e}"))?);
+        for (t, requests, report) in &contended {
+            for row in report.stripe_rows(*t) {
+                let line = serde_json::to_string(&row).map_err(|e| e.to_string())?;
+                writeln!(f, "{line}").map_err(|e| format!("write {path}: {e}"))?;
+            }
+            let line = serde_json::to_string(&report.summary_row(*t, *requests))
+                .map_err(|e| e.to_string())?;
+            writeln!(f, "{line}").map_err(|e| format!("write {path}: {e}"))?;
+        }
+        f.flush().map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("contention rows -> {path}");
+    }
+
+    let summaries: Vec<seta_obs::SummaryArtifactRow> = contended
+        .iter()
+        .map(|(t, requests, report)| report.summary_row(*t, *requests))
+        .collect();
     let artifact = serde_json::json!({
         "schema_version": 1,
         "trace": trace_path,
@@ -901,6 +976,7 @@ fn run_bench_serve(opts: &Options) -> Result<(), String> {
         "stripes": spec.stripes,
         "l2_assoc": opts.assoc,
         "rows": rows.clone(),
+        "contention": summaries,
     });
     if let Some(path) = &opts.out {
         let json = serde_json::to_string_pretty(&artifact).map_err(|e| e.to_string())?;
@@ -925,20 +1001,36 @@ fn run_bench_serve(opts: &Options) -> Result<(), String> {
         "bench-serve: {} x{} ({} refs), strategy {}, {} stripes",
         trace_path, opts.repeat, rows[0].refs, opts.strategy, spec.stripes
     );
-    println!("threads   requests      req/s   speedup   p50 ns   p99 ns");
-    for out in &rows {
+    println!("threads   requests      req/s   speedup   p50 ns   p99 ns   wait_ns_p99");
+    for (out, (_, _, creport)) in rows.iter().zip(&contended) {
         let fmt_ns = |v: Option<u64>| match v {
             Some(ns) => format!("{ns:>8}"),
             None => format!("{:>8}", "-"),
         };
         println!(
-            "{:>7} {:>10} {:>10.0} {:>8.2}x {} {}",
+            "{:>7} {:>10} {:>10.0} {:>8.2}x {} {} {:>13}",
             out.threads,
             out.requests,
             out.requests_per_second,
             out.requests_per_second / base_rps.max(1e-12),
             fmt_ns(out.p50_ns),
             fmt_ns(out.p99_ns),
+            creport.phases.wait_percentile_ns(99.0).unwrap_or(0),
+        );
+    }
+
+    println!("contention attribution (instrumented pass, sampled p99 ns by phase)");
+    println!("threads   total p99   wait p99   service p99   overhead p99   mean wait   mean hold");
+    for (t, _, report) in &contended {
+        println!(
+            "{:>7} {:>11} {:>10} {:>13} {:>14} {:>11.1} {:>11.1}",
+            t,
+            report.phases.total_percentile_ns(99.0).unwrap_or(0),
+            report.phases.wait_percentile_ns(99.0).unwrap_or(0),
+            report.phases.service_percentile_ns(99.0).unwrap_or(0),
+            report.phases.overhead_percentile_ns(99.0).unwrap_or(0),
+            report.mean_wait_ns(),
+            report.mean_hold_ns(),
         );
     }
     Ok(())

@@ -96,6 +96,13 @@ pub struct GuardReport {
     /// machine-bound (≈1.0 on one core); [`load_report`] defaults it to 0
     /// for baselines written before the serve benchmarks existed.
     pub serve_speedup: f64,
+    /// Mean lock-wait nanoseconds per request of a 4-thread contended
+    /// serve replay ([`seta_serve::replay_contended`]), measured once
+    /// outside the timed passes so the observer's clock reads cannot
+    /// perturb the wall benchmarks. Informational — machine- and
+    /// load-dependent, so never gated; [`load_report`] defaults it to 0
+    /// for baselines written before the contention observatory existed.
+    pub serve_wait_ns_mean: f64,
     /// The run's observability manifest: one phase per benchmark.
     pub manifest: RunManifest,
 }
@@ -131,6 +138,9 @@ impl GuardReport {
         // contention only ever lowers them, making the max the best
         // estimate across attempts.
         self.serve_speedup = self.serve_speedup.max(fresh.serve_speedup);
+        // Ambient machine load only ever inflates lock waits, so the
+        // minimum across attempts is the better estimate here too.
+        self.serve_wait_ns_mean = self.serve_wait_ns_mean.min(fresh.serve_wait_ns_mean);
     }
 }
 
@@ -576,6 +586,24 @@ pub fn measure(cfg: &GuardConfig) -> GuardReport {
     }
     let serve_speedup = serve_4t_throughput / serve_1t_throughput.max(1e-12);
 
+    // One contention-instrumented 4-thread replay, outside the timed
+    // passes: the mean lock wait it attributes is recorded next to the
+    // scaling ratio so a future scaling collapse can be read against the
+    // wait trajectory. Its attribution must reconcile exactly.
+    let phase = manifest.begin_phase("serve/contended_4t");
+    let (contended_out, contention) = seta_serve::replay_contended(&serve_events, 4, &serve_spec);
+    manifest.end_phase(phase);
+    assert!(
+        contended_out.conserves(),
+        "contended tallies do not conserve"
+    );
+    assert_eq!(
+        contention.total_accesses(),
+        contended_out.l2_stats.accesses(),
+        "per-stripe accesses must sum to the cache's own total"
+    );
+    let serve_wait_ns_mean = contention.mean_wait_ns();
+
     let git_rev = git_short_rev().unwrap_or_else(|| "unknown".to_owned());
     manifest.label("git_rev", &git_rev);
     manifest.label("sweep_threads", sweep_threads);
@@ -593,6 +621,7 @@ pub fn measure(cfg: &GuardConfig) -> GuardReport {
         benchmarks,
         sharded_speedup,
         serve_speedup,
+        serve_wait_ns_mean,
         manifest,
     }
 }
@@ -793,9 +822,11 @@ pub fn baseline_files(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
 
 /// Loads a report written by [`write_report`].
 ///
-/// Reports from before the serve benchmarks lack `serve_speedup`; it is
-/// defaulted to 0 here (the vendored `serde_derive` has no `#[serde]`
-/// attribute support), which keeps the scaling gate dormant against them.
+/// Reports from before the serve benchmarks lack `serve_speedup`, and
+/// ones from before the contention observatory lack `serve_wait_ns_mean`;
+/// both are defaulted to 0 here (the vendored `serde_derive` has no
+/// `#[serde]` attribute support), which keeps the scaling gate dormant
+/// against old baselines.
 pub fn load_report(path: &Path) -> Result<GuardReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let value: serde_json::Value =
@@ -808,6 +839,8 @@ pub fn load_report(path: &Path) -> Result<GuardReport, String> {
 pub(crate) fn report_from_value(mut value: serde_json::Value) -> Result<GuardReport, String> {
     if let serde_json::Value::Object(map) = &mut value {
         map.entry("serve_speedup".to_owned())
+            .or_insert_with(|| serde_json::Value::Number(serde_json::Number::from_f64(0.0)));
+        map.entry("serve_wait_ns_mean".to_owned())
             .or_insert_with(|| serde_json::Value::Number(serde_json::Number::from_f64(0.0)));
     }
     serde_json::from_value(value).map_err(|e| e.to_string())
@@ -852,6 +885,10 @@ pub fn render(report: &GuardReport) -> String {
         "serve throughput scaling at 4 threads: {:.2}x\n",
         report.serve_speedup
     ));
+    out.push_str(&format!(
+        "serve mean lock wait at 4 threads: {:.1} ns\n",
+        report.serve_wait_ns_mean
+    ));
     out
 }
 
@@ -883,6 +920,7 @@ mod tests {
             }],
             sharded_speedup: 1.0,
             serve_speedup: 1.0,
+            serve_wait_ns_mean: 100.0,
             manifest: RunManifest::new("test"),
         }
     }
@@ -942,6 +980,31 @@ mod tests {
         slower.benchmarks[0].wall_ns_per_access = 40.0;
         report.fold_min_wall(&slower);
         assert_eq!(report.benchmarks[0].wall_ns_per_access, 4.0);
+    }
+
+    #[test]
+    fn fold_min_wall_keeps_quietest_lock_wait() {
+        let mut report = tiny_report();
+        let mut noisier = tiny_report();
+        noisier.serve_wait_ns_mean = 900.0;
+        report.fold_min_wall(&noisier);
+        assert_eq!(report.serve_wait_ns_mean, 100.0);
+        let mut quieter = tiny_report();
+        quieter.serve_wait_ns_mean = 40.0;
+        report.fold_min_wall(&quieter);
+        assert_eq!(report.serve_wait_ns_mean, 40.0);
+    }
+
+    #[test]
+    fn pre_contention_baselines_load_with_zero_wait_mean() {
+        let mut v = serde_json::to_value(&tiny_report()).unwrap();
+        if let serde_json::Value::Object(map) = &mut v {
+            map.remove("serve_wait_ns_mean");
+            map.remove("serve_speedup");
+        }
+        let loaded = report_from_value(v).unwrap();
+        assert_eq!(loaded.serve_wait_ns_mean, 0.0);
+        assert_eq!(loaded.serve_speedup, 0.0, "scaling gate stays dormant");
     }
 
     #[test]

@@ -330,6 +330,7 @@ mod tests {
             benchmarks: benches,
             sharded_speedup: 1.5,
             serve_speedup: 1.0,
+            serve_wait_ns_mean: 100.0,
             manifest: RunManifest::new("test"),
         }
     }

@@ -15,6 +15,10 @@
 //! * [`export`] — snapshot serialization as JSON lines and Prometheus
 //!   text exposition, plus artifact diffing;
 //! * [`Progress`] — a refs/sec + ETA heartbeat on stderr;
+//! * [`contention`] — per-stripe lock/latency attribution for the
+//!   concurrent cache service: wait/hold histograms per lock stripe and
+//!   a phase-split latency recorder, behind a monomorphized observer
+//!   that costs nothing when disabled;
 //! * [`spans`] — hierarchical span tracing with Perfetto `trace_event`
 //!   and collapsed-stack flamegraph exporters;
 //! * [`timeseries`] — fixed-window series of miss ratio, probes/access
@@ -36,6 +40,7 @@ mod manifest;
 mod progress;
 mod registry;
 
+pub mod contention;
 pub mod events;
 pub mod export;
 pub mod latency;
@@ -44,6 +49,10 @@ pub mod serve;
 pub mod spans;
 pub mod timeseries;
 
+pub use contention::{
+    ContentionObserver, ContentionReport, NoContention, PhasedLatencyRecorder, PhasedSample,
+    StripeArtifactRow, StripeContention, StripeStats, SummaryArtifactRow,
+};
 pub use events::{
     EventRing, FalseMatchStats, FalseMatchTally, PositionHistogram, ProbeEvent, SetHeatmap,
 };

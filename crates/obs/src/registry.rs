@@ -51,6 +51,19 @@ impl Log2Histogram {
         self.sum += value;
     }
 
+    /// Folds another histogram into this one, bucket by bucket. Exact:
+    /// counts and sums add, so the merged mean is the population mean.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// Mean observed value; 0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -143,6 +156,12 @@ impl MetricsRegistry {
     #[inline]
     pub fn set_gauge(&mut self, h: GaugeHandle, value: f64) {
         self.gauges[h.0].1 = value;
+    }
+
+    /// Replaces a histogram wholesale (for publishing histograms
+    /// accumulated outside the registry, like per-stripe lock waits).
+    pub fn set_histogram(&mut self, h: HistogramHandle, value: Log2Histogram) {
+        self.histograms[h.0].1 = value;
     }
 
     /// Records one histogram observation.

@@ -6,8 +6,10 @@
 //! [`HtmlPage`](super::HtmlPage). Loaders for the JSONL forms live here
 //! too, so CLIs can rebuild a section from a file instead of a live run.
 
-use super::svg::{log2_histogram_chart, BarChart, LineChart, Series};
+use super::svg::StackedBarChart;
+use super::svg::{log2_histogram_chart, BarChart, HeatCell, HeatGrid, LineChart, Series};
 use super::{Cell, HtmlTable, Section};
+use crate::contention::ContentionReport;
 use crate::export::DiffReport;
 use crate::timeseries::WindowRecord;
 use crate::{RunManifest, SpanTrace};
@@ -263,6 +265,95 @@ pub fn diff_section(report: &DiffReport, path_a: &str, path_b: &str) -> Section 
     s
 }
 
+/// The contention-observatory section: a stripe heat grid (tiles shaded
+/// by access intensity, tooltips carrying hits/occupancy/mean wait) from
+/// the highest-thread-count run, wait-vs-service stacked p99 bars per
+/// thread count, and the attribution table decomposing each run's tail.
+///
+/// `runs` pairs each client thread count with its merged
+/// [`ContentionReport`], in display order.
+pub fn contention_section(runs: &[(usize, ContentionReport)], artifact: Option<&str>) -> Section {
+    let mut s = Section::new("contention", "Contention observatory");
+    let Some((grid_threads, grid_report)) = runs.iter().max_by_key(|(t, _)| *t) else {
+        s.note("no contention runs recorded");
+        return s;
+    };
+    s.para(&format!(
+        "Per-stripe lock attribution across {} run(s); every shared-cache \
+         request is timed for lock wait and hold, and 1-in-N sampled \
+         requests are decomposed into wait / service / overhead phases.",
+        runs.len()
+    ));
+
+    // Stripe heat grid from the most contended (highest thread) run.
+    let mut grid = HeatGrid::new(&format!(
+        "Stripe access intensity at {grid_threads} client(s)"
+    ));
+    for stripe in &grid_report.stripes {
+        grid.cells.push(HeatCell {
+            label: format!("s{} · {}", stripe.stripe, stripe.accesses),
+            value: stripe.accesses as f64,
+            detail: format!(
+                "stripe {}: {} accesses, {} hits, occupancy {}, \
+                 mean wait {:.0} ns, mean hold {:.0} ns",
+                stripe.stripe,
+                stripe.accesses,
+                stripe.hits,
+                stripe.occupancy,
+                stripe.wait_ns.mean(),
+                stripe.hold_ns.mean()
+            ),
+        });
+    }
+    s.push_html(&grid.svg());
+
+    // p99 attribution: stacked wait/service/overhead bars per run.
+    let mut bars = StackedBarChart::new(
+        "p99 latency attribution by thread count",
+        " ns",
+        &["wait", "service", "overhead"],
+    );
+    for (threads, report) in runs {
+        let total = report.phases.total_percentile_ns(99.0).unwrap_or(0) as f64;
+        let wait = report.phases.wait_percentile_ns(99.0).unwrap_or(0) as f64;
+        let service = report.phases.service_percentile_ns(99.0).unwrap_or(0) as f64;
+        let overhead = (total - wait - service).max(0.0);
+        bars.bar(
+            format!("{threads} thread(s)"),
+            vec![wait, service, overhead],
+        );
+    }
+    s.push_html(&bars.svg());
+
+    let mut table = HtmlTable::new(&[
+        "threads",
+        "accesses",
+        "samples",
+        "p99 ns",
+        "wait p99 ns",
+        "service p99 ns",
+        "mean wait ns",
+        "mean hold ns",
+    ]);
+    for (threads, report) in runs {
+        table.row(vec![
+            Cell::int(*threads as u64),
+            Cell::int(report.total_accesses()),
+            Cell::int(report.phases.len() as u64),
+            Cell::int(report.phases.total_percentile_ns(99.0).unwrap_or(0)),
+            Cell::int(report.phases.wait_percentile_ns(99.0).unwrap_or(0)),
+            Cell::int(report.phases.service_percentile_ns(99.0).unwrap_or(0)),
+            Cell::num(report.mean_wait_ns()),
+            Cell::num(report.mean_hold_ns()),
+        ]);
+    }
+    s.table(&table);
+    if let Some(path) = artifact {
+        s.artifact("contention rows", path);
+    }
+    s
+}
+
 /// A standalone section wrapping one log2 histogram chart.
 pub fn histogram_section(id: &str, title: &str, unit: &str, h: &crate::Log2Histogram) -> Section {
     let mut s = Section::new(id, title);
@@ -362,6 +453,45 @@ mod tests {
         let html = page_with(spans_section(&trace, Some("t.json")));
         assert!(html.contains("shard b"), "longest span named");
         assert!(html.contains("350") || html.contains("250"), "durations");
+        validate_self_contained(&html).expect("well-formed");
+    }
+
+    #[test]
+    fn contention_section_renders_grid_bars_and_table() {
+        use crate::contention::{PhasedLatencyRecorder, PhasedSample, StripeStats};
+        let mut runs = Vec::new();
+        for threads in [1usize, 4] {
+            let mut stripes = Vec::new();
+            for i in 0..4usize {
+                let mut st = StripeStats::new(i);
+                st.acquisitions = 100 + i as u64;
+                st.accesses = 100 + i as u64;
+                st.hits = 60;
+                st.occupancy = 32;
+                st.wait_ns.observe(50 * threads as u64);
+                st.hold_ns.observe(400);
+                stripes.push(st);
+            }
+            let mut phases = PhasedLatencyRecorder::new(1);
+            phases.record(PhasedSample {
+                total_ns: 900 * threads as u64,
+                wait_ns: 100 * threads as u64,
+                service_ns: 500,
+            });
+            runs.push((threads, ContentionReport { stripes, phases }));
+        }
+        let html = page_with(contention_section(&runs, Some("contention.jsonl")));
+        assert!(html.contains("Contention observatory"));
+        assert!(html.contains("4 client(s)"), "grid uses max-thread run");
+        assert!(html.contains("wait p99 ns"), "attribution table");
+        assert!(html.contains("contention.jsonl"), "artifact link");
+        validate_self_contained(&html).expect("well-formed");
+    }
+
+    #[test]
+    fn empty_contention_section_degrades_to_a_note() {
+        let html = page_with(contention_section(&[], None));
+        assert!(html.contains("no contention runs"));
         validate_self_contained(&html).expect("well-formed");
     }
 

@@ -409,6 +409,134 @@ impl BarChart {
     }
 }
 
+/// A horizontal stacked bar chart: one labelled bar per entry, each bar
+/// split into segments (one per named series, colored in series order),
+/// with the total printed at the bar's end. Bars scale to the maximum
+/// total. Used for wait-vs-service latency attribution, where the
+/// segments of one bar are phases of the same measured whole.
+#[derive(Debug, Clone)]
+pub struct StackedBarChart {
+    /// Chart title (escaped at render).
+    pub title: String,
+    /// Unit suffix appended to the printed totals (escaped).
+    pub unit: String,
+    /// Segment names, in stacking order (escaped; colored by index).
+    pub segments: Vec<String>,
+    /// `(label, values)` per bar; `values` aligns with `segments` and
+    /// missing trailing values count as zero.
+    pub bars: Vec<(String, Vec<f64>)>,
+}
+
+impl StackedBarChart {
+    /// A new stacked bar chart with the given segment names.
+    pub fn new(title: &str, unit: &str, segments: &[&str]) -> StackedBarChart {
+        StackedBarChart {
+            title: title.to_owned(),
+            unit: unit.to_owned(),
+            segments: segments.iter().map(|s| (*s).to_owned()).collect(),
+            bars: Vec::new(),
+        }
+    }
+
+    /// Appends one bar with per-segment values.
+    pub fn bar(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        self.bars.push((label.into(), values));
+    }
+
+    /// Renders the chart as an inline `<svg>` element.
+    pub fn svg(&self) -> String {
+        const W: f64 = 680.0;
+        const BAR_H: f64 = 16.0;
+        const GAP: f64 = 6.0;
+        const MT: f64 = 24.0;
+        let ml = 12.0
+            + self
+                .bars
+                .iter()
+                .map(|(l, _)| l.chars().count())
+                .max()
+                .unwrap_or(4) as f64
+                * 6.6;
+        let ml = ml.min(240.0);
+        let legend_h = 14.0;
+        let h = MT + legend_h + self.bars.len() as f64 * (BAR_H + GAP) + 8.0;
+        let max = self
+            .bars
+            .iter()
+            .map(|(_, vs)| vs.iter().filter(|v| v.is_finite()).sum::<f64>())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let pw = W - ml - 90.0;
+        let mut s = format!(
+            "<svg viewBox=\"0 0 {W} {h}\" width=\"{W}\" height=\"{h}\" \
+             xmlns=\"http://www.w3.org/2000/svg\" role=\"img\" aria-label=\"{}\">\n",
+            escape_html(&self.title)
+        );
+        s.push_str(&format!(
+            "<text x=\"4\" y=\"15\" font-size=\"13\" font-weight=\"bold\">{}</text>\n",
+            escape_html(&self.title)
+        ));
+        // Legend row under the title: one swatch per segment.
+        let mut lx = ml;
+        for (i, name) in self.segments.iter().enumerate() {
+            s.push_str(&format!(
+                "<rect x=\"{}\" y=\"{}\" width=\"10\" height=\"10\" fill=\"{}\"/>\n",
+                fmt_coord(lx),
+                fmt_coord(MT),
+                series_color(i)
+            ));
+            s.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" font-size=\"10\">{}</text>\n",
+                fmt_coord(lx + 13.0),
+                fmt_coord(MT + 9.0),
+                escape_html(name)
+            ));
+            lx += 13.0 + 8.0 + name.chars().count() as f64 * 6.6;
+        }
+        for (i, (label, values)) in self.bars.iter().enumerate() {
+            let y = MT + legend_h + i as f64 * (BAR_H + GAP);
+            s.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" font-size=\"10\" text-anchor=\"end\">{}</text>\n",
+                fmt_coord(ml - 6.0),
+                fmt_coord(y + BAR_H - 4.0),
+                escape_html(label)
+            ));
+            let mut x = ml;
+            let mut total = 0.0;
+            for (j, name) in self.segments.iter().enumerate() {
+                let v = values.get(j).copied().unwrap_or(0.0);
+                if !v.is_finite() || v <= 0.0 {
+                    continue;
+                }
+                total += v;
+                let w = v / max * pw;
+                s.push_str(&format!(
+                    "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{BAR_H}\" fill=\"{}\">\
+                     <title>{}: {} = {}{}</title></rect>\n",
+                    fmt_coord(x),
+                    fmt_coord(y),
+                    fmt_coord(w),
+                    series_color(j),
+                    escape_html(label),
+                    escape_html(name),
+                    fmt_num(v),
+                    escape_html(&self.unit)
+                ));
+                x += w;
+            }
+            s.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" font-size=\"10\">{}{}</text>\n",
+                fmt_coord(x + 5.0),
+                fmt_coord(y + BAR_H - 4.0),
+                fmt_num(total),
+                escape_html(&self.unit)
+            ));
+        }
+        s.push_str("</svg>");
+        s
+    }
+}
+
 /// Renders a [`Log2Histogram`](crate::Log2Histogram) as a bar chart with
 /// `≤ 2^k` bucket labels.
 pub fn log2_histogram_chart(title: &str, unit: &str, h: &crate::Log2Histogram) -> String {
@@ -569,6 +697,22 @@ mod tests {
         let svg = c.svg();
         assert!(svg.contains("bars"));
         crate::report::validate_self_contained(&wrap(&svg)).expect("balanced");
+    }
+
+    #[test]
+    fn stacked_bar_chart_stacks_and_escapes() {
+        let mut c = StackedBarChart::new("phases <x>", " ns", &["wait", "service", "overhead"]);
+        c.bar("1 thread", vec![10.0, 80.0, 5.0]);
+        c.bar("4 <threads>", vec![60.0, 85.0]);
+        let svg = c.svg();
+        assert!(!svg.contains("4 <threads>"), "unescaped bar label");
+        assert!(svg.contains("wait"), "legend names segments");
+        assert!(
+            svg.matches("<rect").count() >= 5 + 3,
+            "segment rects + legend swatches"
+        );
+        crate::report::validate_self_contained(&wrap(&svg)).expect("balanced");
+        assert_eq!(c.svg(), c.svg(), "deterministic");
     }
 
     #[test]

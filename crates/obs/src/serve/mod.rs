@@ -26,10 +26,11 @@ mod ring;
 pub use http::{Request, RequestError, MAX_REQUEST_BYTES};
 pub use ring::{BroadcastRing, RingEvent, RingRead};
 
+use crate::contention::ContentionReport;
 use crate::export::prometheus_text;
 use crate::report::{Cell, HtmlPage, HtmlTable, Section};
 use crate::timeseries::WindowRecord;
-use crate::{MetricsRegistry, RunManifest};
+use crate::{labeled, MetricsRegistry, RunManifest};
 use serde::Serialize;
 use std::collections::VecDeque;
 use std::io::Write;
@@ -165,6 +166,41 @@ impl ServeHandle {
         *self.state.heartbeat.lock().expect("serve lock") = hb.clone();
         let data = serde_json::to_string(hb).expect("heartbeats serialize");
         self.state.ring.publish("heartbeat", data);
+    }
+
+    /// Publishes per-stripe contention attribution: `serve_stripe_*`
+    /// counters, gauges and wait/hold histograms merged into the served
+    /// registry (so `/metrics` scrapes carry them, one labeled series
+    /// per stripe) and a `contention` SSE event on `/events` with the
+    /// same typed rows the `--contention-out` JSONL artifact uses.
+    pub fn publish_contention(&self, report: &ContentionReport, threads: usize, requests: u64) {
+        self.update_metrics(|m| {
+            for s in &report.stripes {
+                let label = s.stripe.to_string();
+                let c = m.counter(&labeled("serve_stripe_accesses_total", "stripe", &label));
+                m.set_counter(c, s.accesses);
+                let c = m.counter(&labeled("serve_stripe_hits_total", "stripe", &label));
+                m.set_counter(c, s.hits);
+                let c = m.counter(&labeled(
+                    "serve_stripe_acquisitions_total",
+                    "stripe",
+                    &label,
+                ));
+                m.set_counter(c, s.acquisitions);
+                let g = m.gauge(&labeled("serve_stripe_occupancy", "stripe", &label));
+                m.set_gauge(g, s.occupancy as f64);
+                let h = m.histogram(&labeled("serve_stripe_wait_ns", "stripe", &label));
+                m.set_histogram(h, s.wait_ns.clone());
+                let h = m.histogram(&labeled("serve_stripe_hold_ns", "stripe", &label));
+                m.set_histogram(h, s.hold_ns.clone());
+            }
+        });
+        let payload = serde_json::json!({
+            "stripes": report.stripe_rows(threads),
+            "summary": report.summary_row(threads, requests),
+        });
+        let data = serde_json::to_string(&payload).expect("contention rows serialize");
+        self.state.ring.publish("contention", data);
     }
 
     /// Marks the run complete: `/health` reports `done`, subscribers get
@@ -678,6 +714,86 @@ mod tests {
         );
         assert_eq!(names.last().map(String::as_str), Some("end"), "{names:?}");
         assert!(ids.windows(2).all(|w| w[0] < w[1]), "ordered ids: {ids:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn publish_contention_lands_on_metrics_and_events() {
+        use crate::contention::{
+            ContentionObserver, ContentionReport, PhasedLatencyRecorder, PhasedSample,
+            StripeContention,
+        };
+
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+
+        // Subscribe before publishing so the event is guaranteed seen.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /events HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+
+        let mut obs = StripeContention::new(2);
+        obs.on_request(0, 10, 100, true);
+        obs.on_request(0, 30, 200, false);
+        obs.on_request(1, 5, 50, true);
+        let mut phases = PhasedLatencyRecorder::new(1);
+        phases.should_sample();
+        phases.record(PhasedSample {
+            total_ns: 150,
+            wait_ns: 10,
+            service_ns: 100,
+        });
+        let mut report = ContentionReport {
+            stripes: obs.stripes().to_vec(),
+            phases,
+        };
+        report.stripes[0].occupancy = 7;
+        handle.publish_contention(&report, 4, 3);
+        handle.finish_run();
+
+        let (code, _, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert!(
+            body.contains("serve_stripe_accesses_total{stripe=\"0\"} 2"),
+            "{body}"
+        );
+        assert!(
+            body.contains("serve_stripe_hits_total{stripe=\"1\"} 1"),
+            "{body}"
+        );
+        assert!(
+            body.contains("serve_stripe_occupancy{stripe=\"0\"} 7"),
+            "{body}"
+        );
+        assert!(body.contains("serve_stripe_wait_ns"), "{body}");
+        assert!(body.contains("serve_stripe_hold_ns"), "{body}");
+
+        let mut reader = BufReader::new(stream);
+        let mut names = Vec::new();
+        let mut payload = None;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).unwrap() == 0 {
+                break;
+            }
+            if let Some(rest) = line.strip_prefix("event: ") {
+                names.push(rest.trim().to_owned());
+            }
+            if let Some(rest) = line.strip_prefix("data: ") {
+                if names.last().map(String::as_str) == Some("contention") {
+                    payload = Some(rest.trim().to_owned());
+                }
+            }
+        }
+        assert!(names.iter().any(|n| n == "contention"), "{names:?}");
+        let v: serde_json::Value =
+            serde_json::from_str(&payload.expect("contention data")).unwrap();
+        assert_eq!(v["summary"]["threads"].as_u64(), Some(4));
+        assert_eq!(v["summary"]["requests"].as_u64(), Some(3));
+        assert_eq!(v["stripes"][0]["accesses"].as_u64(), Some(2));
         server.shutdown();
     }
 

@@ -15,7 +15,9 @@
 use seta_cache::{AddressMapper, CacheConfig, CacheStats, Policy, SetBank};
 use seta_core::packed::LaneSpec;
 use seta_core::{ProbeStats, SetView, StrategyKind};
+use seta_obs::{ContentionObserver, NoContention};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Outcome of one [`ConcurrentCache`] request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +31,8 @@ pub struct Response {
     pub probes: u32,
     /// Whether a dirty victim was displaced by this fill.
     pub evicted_dirty: bool,
+    /// The lock stripe that served this request.
+    pub stripe: usize,
 }
 
 /// One stripe: a contiguous range of sets behind one lock, with its own
@@ -90,9 +94,7 @@ impl ConcurrentCache {
     pub fn new(config: CacheConfig, strategy: StrategyKind, stripes: usize) -> Self {
         let num_sets = config.num_sets();
         let assoc = config.associativity() as usize;
-        // num_sets is a power of two (enforced by CacheConfig), so any
-        // power-of-two stripe count <= num_sets divides it evenly.
-        let stripes = (stripes.max(1) as u64).next_power_of_two().min(num_sets);
+        let stripes = Self::effective_stripes(&config, stripes) as u64;
         let sets_per_stripe = num_sets / stripes;
         let lane_spec = match strategy {
             StrategyKind::Partial(p) => p.lane_spec(assoc),
@@ -122,6 +124,16 @@ impl ConcurrentCache {
         }
     }
 
+    /// The stripe count [`new`](Self::new) would actually use for this
+    /// geometry: `stripes` clamped to the set count and rounded to a
+    /// power of two. `num_sets` is itself a power of two (enforced by
+    /// [`CacheConfig`]), so any such count divides it evenly.
+    pub fn effective_stripes(config: &CacheConfig, stripes: usize) -> usize {
+        (stripes.max(1) as u64)
+            .next_power_of_two()
+            .min(config.num_sets()) as usize
+    }
+
     /// The geometry of this cache.
     pub fn config(&self) -> &CacheConfig {
         &self.config
@@ -140,14 +152,14 @@ impl ConcurrentCache {
     /// A read-in request: the service's `get`. Prices the lookup, then
     /// fills on a miss (evicting if needed).
     pub fn read_in(&self, addr: u64) -> Response {
-        self.request(addr, false)
+        self.request(addr, false, &mut NoContention)
     }
 
     /// A write-back request: the service's `insert`. Under the write-back
     /// optimization it costs zero probes — the L1's position hint replaces
     /// the search — but still counts as an access.
     pub fn write_back(&self, addr: u64) -> Response {
-        self.request(addr, true)
+        self.request(addr, true, &mut NoContention)
     }
 
     /// Alias for [`read_in`](Self::read_in) in service terms.
@@ -160,13 +172,45 @@ impl ConcurrentCache {
         self.write_back(key)
     }
 
-    fn request(&self, addr: u64, is_write_back: bool) -> Response {
+    /// [`read_in`](Self::read_in) with contention attribution: when the
+    /// observer's `ENABLED` constant is true, the lock wait and hold are
+    /// timed and reported to it once per request (after the lock drops).
+    /// With [`NoContention`] this monomorphizes to exactly the plain
+    /// request path — no clock reads, no observer calls — so contents,
+    /// statistics and probes are bit-identical with any observer.
+    pub fn read_in_observed<O: ContentionObserver>(&self, addr: u64, obs: &mut O) -> Response {
+        self.request(addr, false, obs)
+    }
+
+    /// [`write_back`](Self::write_back) with contention attribution.
+    pub fn write_back_observed<O: ContentionObserver>(&self, addr: u64, obs: &mut O) -> Response {
+        self.request(addr, true, obs)
+    }
+
+    fn request<O: ContentionObserver>(
+        &self,
+        addr: u64,
+        is_write_back: bool,
+        obs: &mut O,
+    ) -> Response {
         let set = self.mapper.set_of(addr);
         let tag = self.mapper.tag_of(addr);
         let stripe_idx = (set / self.sets_per_stripe) as usize;
         let local = (set % self.sets_per_stripe) as usize;
 
+        // Both clock reads vanish when the observer is disabled: the
+        // branch is on a monomorphized associated constant.
+        let requested = if O::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let mut guard = self.stripes[stripe_idx].lock().expect("stripe poisoned");
+        let acquired = if O::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let stripe = &mut *guard;
 
         // Snapshot the pre-access set state and price the lookup exactly
@@ -206,12 +250,25 @@ impl ConcurrentCache {
         } else {
             stripe.probes.record_miss(lookup.probes);
         }
-        Response {
+        let response = Response {
             hit: r.hit,
             way: r.way,
             probes: if is_write_back { 0 } else { lookup.probes },
             evicted_dirty: r.evicted.is_some_and(|(_, dirty)| dirty),
+            stripe: stripe_idx,
+        };
+        if O::ENABLED {
+            // Hold ends here, just before the guard drops; the observer
+            // runs outside the lock so attribution never adds contention.
+            let hold_ns = acquired.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let wait_ns = match (requested, acquired) {
+                (Some(req), Some(acq)) => acq.duration_since(req).as_nanos() as u64,
+                _ => 0,
+            };
+            drop(guard);
+            obs.on_request(stripe_idx, wait_ns, hold_ns, response.hit);
         }
+        response
     }
 
     /// Merged access statistics across all stripes.
@@ -239,6 +296,16 @@ impl ConcurrentCache {
             .expect("stripe poisoned")
             .bank
             .occupancy(local)
+    }
+
+    /// Valid blocks across all sets of one lock stripe (for the
+    /// contention report's per-stripe occupancy column).
+    pub fn stripe_occupancy(&self, stripe: usize) -> usize {
+        self.stripes[stripe]
+            .lock()
+            .expect("stripe poisoned")
+            .bank
+            .resident_blocks()
     }
 
     /// Valid blocks across the whole cache.
@@ -355,6 +422,53 @@ mod tests {
         ra.sort_unstable();
         rb.sort_unstable();
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn observed_requests_attribute_to_the_serving_stripe() {
+        use seta_obs::StripeContention;
+        let c = small(4);
+        let mut obs = StripeContention::new(c.num_stripes());
+        for i in 0..64u64 {
+            let before: Vec<u64> = obs.stripes().iter().map(|s| s.accesses).collect();
+            let r = c.read_in_observed(i * 16, &mut obs);
+            assert!(r.stripe < c.num_stripes());
+            // The response names the stripe whose tally advanced.
+            assert_eq!(obs.stripes()[r.stripe].accesses, before[r.stripe] + 1);
+        }
+        assert_eq!(obs.total_accesses(), 64, "one observation per request");
+        assert_eq!(obs.total_acquisitions(), 64);
+        assert_eq!(obs.total_hits(), c.stats().hits());
+        let per_stripe: u64 = (0..c.num_stripes())
+            .map(|i| obs.stripes()[i].accesses)
+            .sum();
+        assert_eq!(per_stripe, c.stats().accesses());
+        let occ: usize = (0..c.num_stripes()).map(|i| c.stripe_occupancy(i)).sum();
+        assert_eq!(occ, c.resident_blocks());
+    }
+
+    #[test]
+    fn observation_is_content_invisible() {
+        use seta_obs::StripeContention;
+        let plain = small(4);
+        let observed = small(4);
+        let mut obs = StripeContention::new(observed.num_stripes());
+        let addrs: Vec<u64> = (0..300u64).map(|i| (i * 7919) % 0x2000).collect();
+        for &a in &addrs {
+            let rp = if a % 3 == 0 {
+                plain.insert(a)
+            } else {
+                plain.get(a)
+            };
+            let ro = if a % 3 == 0 {
+                observed.write_back_observed(a, &mut obs)
+            } else {
+                observed.read_in_observed(a, &mut obs)
+            };
+            assert_eq!((rp.hit, rp.way, rp.probes), (ro.hit, ro.way, ro.probes));
+        }
+        assert_eq!(plain.stats(), observed.stats());
+        assert_eq!(plain.probe_stats(), observed.probe_stats());
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! * [`replay_traced`] / [`replay_served`] — the same replay with one
 //!   Perfetto span track per client and live metrics/heartbeats through
 //!   [`seta_obs`]'s serve endpoint.
+//! * [`replay_contended`] — the contention observatory: the same replay
+//!   with every request's lock wait/hold timed and attributed to its
+//!   stripe ([`seta_obs::StripeStats`]) and sampled requests decomposed
+//!   into wait/service/overhead phases. Instrumentation is
+//!   content-invisible — the observer is monomorphized out of every
+//!   other entry point, and an enabled observer never changes what the
+//!   cache does, only what is measured.
 //!
 //! At one thread the replay is bit-identical (shared-cache statistics
 //! included) to [`seta_sim::runner::simulate`]; at N threads the client
@@ -35,4 +42,7 @@ pub mod cache;
 pub mod loadgen;
 
 pub use cache::{ConcurrentCache, Response};
-pub use loadgen::{replay, replay_served, replay_traced, LoadOutcome, LoadSpec};
+pub use loadgen::{
+    replay, replay_contended, replay_contended_traced, replay_served, replay_traced, LoadOutcome,
+    LoadSpec,
+};

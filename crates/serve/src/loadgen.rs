@@ -22,7 +22,9 @@ use serde::Serialize;
 use seta_cache::{Cache, CacheConfig, CacheStats};
 use seta_core::{ProbeStats, StrategyKind};
 use seta_obs::{
-    labeled, LatencyRecorder, ServeHandle, ServeHeartbeat, SpanBuffer, SpanClock, SpanTrace,
+    labeled, ContentionObserver, ContentionReport, LatencyRecorder, NoContention,
+    PhasedLatencyRecorder, PhasedSample, ServeHandle, ServeHeartbeat, SpanBuffer, SpanClock,
+    SpanTrace, StripeContention,
 };
 use seta_sim::partition::chunk_ranges;
 use seta_trace::TraceEvent;
@@ -126,8 +128,11 @@ impl LoadOutcome {
 }
 
 /// One client thread's state: a private L1 plus tallies of the requests
-/// it issued to the shared cache.
-struct Client<'a> {
+/// it issued to the shared cache. Generic over the contention observer:
+/// with [`NoContention`] (every pre-existing entry point) the whole
+/// instrumentation — clock reads, phase recording, phase spans —
+/// monomorphizes away and the request path is byte-for-byte the old one.
+struct Client<'a, O: ContentionObserver> {
     shared: &'a ConcurrentCache,
     l1: Cache,
     refs: u64,
@@ -138,11 +143,21 @@ struct Client<'a> {
     write_back_hits: u64,
     probes: u64,
     latency: LatencyRecorder,
+    obs: O,
+    /// Phase-decomposed samples; only fed when `O::ENABLED`.
+    phases: PhasedLatencyRecorder,
+    clock: SpanClock,
     buf: SpanBuffer,
 }
 
-impl<'a> Client<'a> {
-    fn new(id: u32, shared: &'a ConcurrentCache, spec: &LoadSpec, clock: SpanClock) -> Self {
+impl<'a, O: ContentionObserver> Client<'a, O> {
+    fn new(
+        id: u32,
+        shared: &'a ConcurrentCache,
+        spec: &LoadSpec,
+        clock: SpanClock,
+        obs: O,
+    ) -> Self {
         Client {
             shared,
             l1: Cache::new(spec.l1),
@@ -154,20 +169,52 @@ impl<'a> Client<'a> {
             write_back_hits: 0,
             probes: 0,
             latency: LatencyRecorder::new(spec.sample_every),
+            obs,
+            phases: PhasedLatencyRecorder::new(spec.sample_every),
+            clock: clock.clone(),
             buf: SpanBuffer::new(id, clock),
         }
     }
 
-    /// Issues one shared-cache request, timing it if sampled.
+    /// Issues one shared-cache request, timing it if sampled. Under an
+    /// enabled observer, every request's lock wait/hold is attributed to
+    /// its stripe, and each *sampled* request additionally records a
+    /// [`PhasedSample`] and emits `wait`/`service` phase spans on this
+    /// client's Perfetto track. The wait and hold intervals nest inside
+    /// the end-to-end interval, so `wait + service <= total` always.
     fn request(&mut self, addr: u64, is_write_back: bool) -> crate::cache::Response {
-        let t0 = self.latency.should_sample().then(Instant::now);
-        let resp = if is_write_back {
-            self.shared.write_back(addr)
+        let sampled = self.latency.should_sample();
+        let start_us = if O::ENABLED && sampled {
+            self.clock.now_us()
         } else {
-            self.shared.read_in(addr)
+            0
+        };
+        let t0 = sampled.then(Instant::now);
+        let resp = if is_write_back {
+            self.shared.write_back_observed(addr, &mut self.obs)
+        } else {
+            self.shared.read_in_observed(addr, &mut self.obs)
         };
         if let Some(t0) = t0 {
-            self.latency.record(t0.elapsed().as_nanos() as u64);
+            let total_ns = t0.elapsed().as_nanos() as u64;
+            self.latency.record(total_ns);
+            if O::ENABLED {
+                let wait_ns = self.obs.last_wait_ns();
+                let service_ns = self.obs.last_hold_ns();
+                self.phases.record(PhasedSample {
+                    total_ns,
+                    wait_ns,
+                    service_ns,
+                });
+                // Replay the measured intervals onto the track: a wait
+                // phase, then the service phase it unblocked.
+                let wait_end_us = start_us + wait_ns / 1000;
+                let service_end_us = wait_end_us + service_ns / 1000;
+                let w = self.buf.open_at("wait", "phase", start_us);
+                self.buf.close_at(w, wait_end_us);
+                let s = self.buf.open_at("service", "phase", wait_end_us);
+                self.buf.close_at(s, service_end_us);
+            }
         }
         self.requests += 1;
         resp
@@ -263,6 +310,12 @@ impl<'a> Client<'a> {
         let (p50, p99) = self.latency.p50_p99_ns();
         self.buf.counter(root, "latency_p50_ns", p50.unwrap_or(0));
         self.buf.counter(root, "latency_p99_ns", p99.unwrap_or(0));
+        if O::ENABLED {
+            let wait = self.phases.wait_percentile_ns(99.0).unwrap_or(0);
+            let service = self.phases.service_percentile_ns(99.0).unwrap_or(0);
+            self.buf.counter(root, "wait_p99_ns", wait);
+            self.buf.counter(root, "service_p99_ns", service);
+        }
         self.buf.close(root);
     }
 }
@@ -311,6 +364,48 @@ pub fn replay_served(
     replay_inner(events, threads, spec, Some(handle))
 }
 
+/// [`replay`] with full contention attribution: every request's lock
+/// wait/hold is timed and attributed to its stripe, and sampled requests
+/// are decomposed into wait/service/overhead phases. The cache contents,
+/// statistics and probe counts are bit-identical to an un-instrumented
+/// replay (the contention property tests pin this); only wall time pays
+/// for the extra clock reads. Per-stripe `occupancy` is filled from the
+/// cache after the run.
+pub fn replay_contended(
+    events: &[TraceEvent],
+    threads: usize,
+    spec: &LoadSpec,
+) -> (LoadOutcome, ContentionReport) {
+    let (out, _, report) = replay_contended_traced(events, threads, spec);
+    (out, report)
+}
+
+/// [`replay_contended`] that also hands back the span trace, whose client
+/// tracks carry `wait`/`service` phase spans for every sampled request.
+pub fn replay_contended_traced(
+    events: &[TraceEvent],
+    threads: usize,
+    spec: &LoadSpec,
+) -> (LoadOutcome, SpanTrace, ContentionReport) {
+    let stripes = ConcurrentCache::effective_stripes(&spec.l2, spec.stripes);
+    let (out, trace, cache, observers, phases) =
+        replay_parts_observed(events, threads, spec, None, || {
+            StripeContention::new(stripes)
+        });
+    let mut merged = StripeContention::new(stripes);
+    for obs in &observers {
+        merged.merge(obs);
+    }
+    for (i, s) in merged.stripes_mut().iter_mut().enumerate() {
+        s.occupancy = cache.stripe_occupancy(i) as u64;
+    }
+    let report = ContentionReport {
+        stripes: merged.stripes().to_vec(),
+        phases,
+    };
+    (out, trace, report)
+}
+
 fn replay_inner(
     events: &[TraceEvent],
     threads: usize,
@@ -327,6 +422,24 @@ fn replay_parts(
     spec: &LoadSpec,
     handle: Option<&ServeHandle>,
 ) -> (LoadOutcome, SpanTrace, ConcurrentCache) {
+    let (out, trace, cache, _, _) =
+        replay_parts_observed(events, threads, spec, handle, || NoContention);
+    (out, trace, cache)
+}
+
+fn replay_parts_observed<O: ContentionObserver + Send>(
+    events: &[TraceEvent],
+    threads: usize,
+    spec: &LoadSpec,
+    handle: Option<&ServeHandle>,
+    make_obs: impl Fn() -> O + Sync,
+) -> (
+    LoadOutcome,
+    SpanTrace,
+    ConcurrentCache,
+    Vec<O>,
+    PhasedLatencyRecorder,
+) {
     assert!(
         spec.l1.block_size() <= spec.l2.block_size(),
         "L1 blocks must fit in shared-cache blocks"
@@ -353,8 +466,8 @@ fn replay_parts(
     }
 
     let started = Instant::now();
-    let clients: Vec<Client<'_>> = if threads == 1 {
-        let mut c = Client::new(1, &shared, spec, clock);
+    let clients: Vec<Client<'_, O>> = if threads == 1 {
+        let mut c = Client::new(1, &shared, spec, clock, make_obs());
         c.run(events, &ranges, &next, single_chunk, handle, started);
         vec![c]
     } else {
@@ -365,8 +478,9 @@ fn replay_parts(
                     let ranges = &ranges;
                     let next = &next;
                     let clock = clock.clone();
+                    let make_obs = &make_obs;
                     scope.spawn(move || {
-                        let mut c = Client::new(id as u32, shared, spec, clock);
+                        let mut c = Client::new(id as u32, shared, spec, clock, make_obs());
                         c.run(events, ranges, next, single_chunk, handle, started);
                         c
                     })
@@ -403,6 +517,8 @@ fn replay_parts(
         l2_stats: shared.stats(),
         l2_probes: shared.probe_stats(),
     };
+    let mut observers = Vec::with_capacity(clients.len());
+    let mut phases = PhasedLatencyRecorder::new(spec.sample_every);
     for c in clients {
         outcome.refs += c.refs;
         outcome.requests += c.requests;
@@ -413,6 +529,8 @@ fn replay_parts(
         outcome.probes += c.probes;
         outcome.l1_stats += *c.l1.stats();
         latency.merge(&c.latency);
+        phases.merge(&c.phases);
+        observers.push(c.obs);
         trace.name_track(c.buf.track(), format!("client-{}", c.buf.track()));
         trace.absorb(c.buf);
     }
@@ -432,7 +550,7 @@ fn replay_parts(
         };
         handle.publish_heartbeat(&hb);
     }
-    (outcome, trace, shared)
+    (outcome, trace, shared, observers, phases)
 }
 
 #[cfg(test)]
